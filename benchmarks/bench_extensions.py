@@ -1,0 +1,175 @@
+"""Benches for the paper's named extensions.
+
+* Verifier triangulation (Section V-C's GPS-spoof countermeasure):
+  detection radius and the added-delay evasion the paper warns about.
+* Replication diversity (the Benson et al. scenario): replicas
+  witnessed vs replicas actually kept.
+* Dynamic GeoProof (Section IV): budget growth with file size and the
+  audit cost next to the static scheme.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.reporting import format_table
+from repro.core.dynamic_session import DynamicGeoProofSession, dynamic_rtt_budget
+from repro.core.triangulation import (
+    LandmarkTriangulator,
+    spoof_detection_radius_km,
+)
+from repro.crypto.rng import DeterministicRNG
+from repro.geo.datasets import city
+from repro.geo.regions import CircularRegion
+
+
+def test_triangulation_detection_radius(benchmark):
+    """How far can a spoofed GPS fix drift before landmarks catch it?"""
+
+    def sweep():
+        rows = []
+        configurations = {
+            "3 AU landmarks": {
+                "sydney": city("sydney"),
+                "melbourne": city("melbourne"),
+                "perth": city("perth"),
+            },
+            "2 east-coast landmarks": {
+                "sydney": city("sydney"),
+                "melbourne": city("melbourne"),
+            },
+            "5 landmarks (+SG, NZ)": {
+                "sydney": city("sydney"),
+                "melbourne": city("melbourne"),
+                "perth": city("perth"),
+                "singapore": city("singapore"),
+                "auckland": city("auckland"),
+            },
+        }
+        for label, landmarks in configurations.items():
+            triangulator = LandmarkTriangulator(landmarks)
+            radius = spoof_detection_radius_km(triangulator, city("brisbane"))
+            rows.append((label, radius))
+        return rows
+
+    rows = benchmark(sweep)
+    record_table(
+        "triangulation",
+        format_table(
+            ["landmark set", "spoof detection radius km"],
+            [list(r) for r in rows],
+            title="Extension -- triangulation of V (Section V-C)",
+            decimals=0,
+        ),
+    )
+    radii = dict(rows)
+    # More landmarks -> tighter (or equal) detection radius.
+    assert radii["5 landmarks (+SG, NZ)"] <= radii["2 east-coast landmarks"]
+    # All finite: gross spoofs are always caught.
+    assert all(radius < float("inf") for radius in radii.values())
+
+
+def test_triangulation_delay_evasion(benchmark):
+    """The paper's caveat: provider-added delay loosens the bounds."""
+    triangulator = LandmarkTriangulator(
+        {
+            "sydney": city("sydney"),
+            "melbourne": city("melbourne"),
+            "perth": city("perth"),
+        }
+    )
+
+    def sweep():
+        rows = []
+        for delay in (0.0, 20.0, 50.0, 100.0):
+            result = triangulator.verify_device(
+                city("singapore"),
+                city("brisbane"),
+                adversary_added_delay_ms=delay,
+            )
+            rows.append((delay, result.consistent))
+        return rows
+
+    rows = benchmark(sweep)
+    record_table(
+        "triangulation-delay",
+        format_table(
+            ["added delay ms", "Singapore spoof escapes"],
+            [list(r) for r in rows],
+            title="Extension -- added-delay evasion of triangulation",
+        ),
+    )
+    by_delay = dict(rows)
+    assert by_delay[0.0] is False  # caught with honest paths
+    assert by_delay[100.0] is True  # the paper's warned-about evasion
+
+
+def test_replication_witness_count(benchmark):
+    """Replicas witnessed == replicas actually kept (1, 2, 3)."""
+    from benchmarks._support import build_replication_deployment
+
+    def sweep():
+        rows = []
+        for kept in (["sydney"], ["sydney", "perth"], ["sydney", "perth", "singapore"]):
+            provider, auditor = build_replication_deployment(kept)
+            verdict = auditor.audit_round(b"f", provider, k=10)
+            rows.append((len(kept), verdict.distinct_replicas))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        "replication",
+        format_table(
+            ["replicas kept", "replicas witnessed"],
+            [list(r) for r in rows],
+            title="Extension -- replication diversity audit",
+        ),
+    )
+    for kept, witnessed in rows:
+        assert witnessed == kept
+
+
+def test_dynamic_budget_scaling(benchmark):
+    """Dynamic rounds pay a log2(n) Merkle-path transfer term."""
+
+    def sweep():
+        return [
+            (n, dynamic_rtt_budget(n, 4096).rtt_max_ms)
+            for n in (2**8, 2**12, 2**16, 2**20, 2**24)
+        ]
+
+    rows = benchmark(sweep)
+    record_table(
+        "dynamic-budget",
+        format_table(
+            ["blocks n", "Delta-t_max ms"],
+            [list(r) for r in rows],
+            title="Extension -- dynamic GeoProof budget vs file size",
+            decimals=4,
+        ),
+    )
+    budgets = [budget for _, budget in rows]
+    assert budgets == sorted(budgets)
+    # Logarithmic: equal increments per 2^4 step.
+    steps = [b2 - b1 for b1, b2 in zip(budgets[1:], budgets[2:])]
+    for step in steps[1:]:
+        assert step == pytest.approx(steps[0], rel=0.05)
+
+
+def test_dynamic_audit_end_to_end(benchmark):
+    """A full dynamic audit round (20 challenges + updates)."""
+    brisbane = city("brisbane")
+    session = DynamicGeoProofSession(
+        datacentre_location=brisbane,
+        region=CircularRegion(brisbane, 100.0),
+        block_bytes=512,
+        seed="dyn-bench",
+    )
+    session.outsource(b"f", DeterministicRNG("dyn-bench").random_bytes(60_000))
+
+    def audit_with_updates():
+        session.update_block(1, b"u" * 512)
+        _, verdict = session.run_audit(20)
+        return verdict
+
+    verdict = benchmark(audit_with_updates)
+    assert verdict.accepted

@@ -1,0 +1,109 @@
+"""Figure 5: the GeoProof protocol, end to end.
+
+One full audit: TPA request -> verifier challenge -> k timed rounds ->
+signed transcript -> four-step TPA verification.  Pins the paper's
+timing decomposition: every honest round costs ~(LAN + Delta-t_L) and
+stays under the Delta-t_max ~ 16 ms budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.reporting import format_table
+from repro.core.session import GeoProofSession
+from repro.crypto.rng import DeterministicRNG
+from repro.geo.coords import GeoPoint
+from repro.por.parameters import TEST_PARAMS
+
+BRISBANE = GeoPoint(-27.4698, 153.0251)
+
+
+def build_loaded_session(seed="fig5", file_bytes=30_000):
+    session = GeoProofSession.build(
+        datacentre_location=BRISBANE, params=TEST_PARAMS, seed=seed
+    )
+    data = DeterministicRNG(f"{seed}-data").random_bytes(file_bytes)
+    session.outsource(b"bench-file", data)
+    return session
+
+
+def test_fig5_full_audit(benchmark):
+    session = build_loaded_session()
+
+    outcome = benchmark(session.audit, b"bench-file", k=50)
+
+    transcript = outcome.transcript
+    rows = [
+        ["rounds k", transcript.k],
+        ["max RTT (Delta-t')", round(transcript.max_rtt_ms, 3)],
+        ["mean RTT", round(transcript.mean_rtt_ms, 3)],
+        ["budget (Delta-t_max)", round(outcome.verdict.rtt_max_ms, 3)],
+        ["accepted", outcome.verdict.accepted],
+        ["simulated audit ms", round(outcome.duration_ms, 1)],
+    ]
+    record_table(
+        "fig5",
+        format_table(
+            ["quantity", "value"], rows, title="Fig. 5 -- GeoProof audit (honest)"
+        ),
+    )
+
+    assert outcome.verdict.accepted
+    # Round cost ~ disk (13.1 ms) + LAN (sub-ms): between 12 and 16 ms.
+    assert 12.0 < transcript.max_rtt_ms < outcome.verdict.rtt_max_ms
+
+
+def test_fig5_verification_only(benchmark):
+    """The TPA-side cost: verify signature + k MACs + timing."""
+    from repro.core.verification import verify_transcript
+
+    session = build_loaded_session("fig5-verify")
+    outcome = session.audit(b"bench-file", k=50)
+    record = session.tpa.record(b"bench-file")
+
+    verdict = benchmark(
+        verify_transcript,
+        outcome.transcript,
+        outcome.request,
+        verifier_public_key=session.verifier.public_key,
+        mac_key=record.mac_key,
+        params=record.params,
+        region=record.sla.region,
+        rtt_max_ms=record.sla.rtt_max_ms,
+    )
+    assert verdict.accepted
+
+
+def test_fig5_setup_throughput(benchmark):
+    """Client-side Encode: the five-step pipeline on a 30 kB file."""
+    from repro.por.setup import PORKeys, setup_file
+
+    keys = PORKeys.derive(b"fig5-throughput-master-key")
+    data = DeterministicRNG("fig5-setup").random_bytes(30_000)
+
+    encoded = benchmark(setup_file, data, keys, b"f", TEST_PARAMS)
+    assert encoded.n_segments > 0
+
+
+def test_fig5_k_scaling(benchmark):
+    """Audit cost scales linearly in k (the paper's k-round phase)."""
+
+    def sweep():
+        session = build_loaded_session("fig5-k")
+        durations = []
+        for k in (10, 20, 40):
+            outcome = session.audit(b"bench-file", k=k)
+            durations.append((k, outcome.duration_ms))
+        return durations
+
+    durations = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        "fig5-k",
+        format_table(
+            ["k rounds", "simulated ms"],
+            [[k, round(d, 1)] for k, d in durations],
+            title="Fig. 5 -- audit duration vs k",
+        ),
+    )
+    (k1, d1), _, (k3, d3) = durations
+    assert d3 / d1 == pytest.approx(k3 / k1, rel=0.25)

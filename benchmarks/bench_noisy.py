@@ -1,0 +1,81 @@
+"""Noise-tolerant distance bounding: the robustness/security frontier.
+
+The paper's survey names noisy-channel distance bounding ([40], [29])
+as the practical variant; this bench maps the frontier -- for channel
+bit-error rates from 0 to 10 %, the tolerance t needed to keep honest
+false-rejects under 1 %, what that concedes to a pre-ask adversary,
+and how many extra rounds buy the security back.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.reporting import format_table
+from repro.distbound.noisy import (
+    adversary_acceptance,
+    choose_threshold,
+    honest_acceptance,
+)
+
+
+def test_noise_tolerance_frontier(benchmark):
+    def sweep():
+        rows = []
+        for bit_error_rate in (0.0, 0.01, 0.03, 0.05, 0.10):
+            threshold = choose_threshold(
+                64, bit_error_rate, target_false_reject=0.01
+            )
+            rows.append(
+                (
+                    bit_error_rate,
+                    threshold,
+                    honest_acceptance(64, threshold, bit_error_rate),
+                    adversary_acceptance(64, threshold),
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    rendered = format_table(
+        ["channel BER", "tolerance t", "honest accept", "adversary accept"],
+        [
+            [f"{ber:.0%}", t, f"{honest:.4f}", f"{adv:.2e}"]
+            for ber, t, honest, adv in rows
+        ],
+        title="Noisy distance bounding -- n = 64 rounds, <= 1 % false reject",
+    )
+    record_table("noisy-frontier", rendered)
+
+    # Shape: tolerance grows with noise; honest acceptance holds; the
+    # adversary's acceptance grows monotonically with tolerance.
+    thresholds = [t for _, t, _, _ in rows]
+    assert thresholds == sorted(thresholds)
+    assert all(honest >= 0.99 for _, _, honest, _ in rows)
+    adversary_rates = [adv for *_, adv in rows]
+    assert adversary_rates == sorted(adversary_rates)
+
+
+def test_rounds_buy_security_back(benchmark):
+    """At 5 % BER: how many rounds restore 2^-20 adversary acceptance?"""
+
+    def solve():
+        rows = []
+        for n_rounds in (32, 64, 128, 256):
+            threshold = choose_threshold(
+                n_rounds, 0.05, target_false_reject=0.01
+            )
+            rows.append(
+                (n_rounds, threshold, adversary_acceptance(n_rounds, threshold))
+            )
+        return rows
+
+    rows = benchmark(solve)
+    rendered = format_table(
+        ["rounds n", "tolerance t", "adversary accept"],
+        [[n, t, f"{adv:.2e}"] for n, t, adv in rows],
+        title="Noisy distance bounding -- security vs round count at 5 % BER",
+    )
+    record_table("noisy-rounds", rendered)
+    adversary_rates = [adv for _, _, adv in rows]
+    assert adversary_rates == sorted(adversary_rates, reverse=True)
+    assert adversary_rates[-1] < 2.0**-20

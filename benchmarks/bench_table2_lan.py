@@ -1,0 +1,47 @@
+"""Table II: LAN latency within QUT -- all placements < 1 ms.
+
+The paper pinged ten machines 0-45 km apart inside the university
+network and measured < 1 ms everywhere; the simulated LAN must land in
+the same envelope.
+"""
+
+from benchmarks.conftest import record_table
+from repro.analysis.experiments import table2_lan_latency
+from repro.analysis.reporting import format_table
+
+
+def test_table2_reproduction(benchmark):
+    rows = benchmark(table2_lan_latency)
+
+    rendered = format_table(
+        ["machine", "location", "distance km", "RTT ms", "paper"],
+        [
+            [r.machine, r.location_label, r.distance_km, r.rtt_ms, "< 1 ms"]
+            for r in rows
+        ],
+        title="Table II -- LAN latency within QUT (simulated)",
+        decimals=4,
+    )
+    record_table("table2", rendered)
+
+    # Shape: the paper's envelope -- every placement under 1 ms.
+    assert all(r.under_1ms for r in rows)
+    # Distance still matters inside the envelope: the 45 km placement
+    # is the slowest.
+    slowest = max(rows, key=lambda r: r.rtt_ms)
+    assert slowest.distance_km == 45.0
+
+
+def test_table2_worst_case_with_load(benchmark):
+    """Even heavy jitter draws keep the 45 km placement under ~1 ms --
+    the margin the paper's Delta-t_VP = 3 ms budget allows is wide."""
+    from repro.crypto.rng import DeterministicRNG
+    from repro.netsim.latency import LANModel
+
+    def worst_of_many():
+        rng = DeterministicRNG("t2-load")
+        lan = LANModel(n_switches=6)
+        return max(lan.rtt_ms(45.0, 64, rng) for _ in range(500))
+
+    worst = benchmark(worst_of_many)
+    assert worst < 3.0  # the paper's LAN budget

@@ -1,0 +1,58 @@
+"""Table III: Internet latency within Australia.
+
+Nine hosts, 8-3605 km from a Brisbane ADSL2 vantage, RTTs 18-82 ms.
+The reproduced claim is the *shape*: a strong positive distance-latency
+relationship with every modelled RTT within 25 % of the measured row.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.experiments import table3_correlation, table3_internet_latency
+from repro.analysis.reporting import format_table
+
+
+def test_table3_reproduction(benchmark):
+    rows = benchmark(table3_internet_latency)
+
+    rendered = format_table(
+        ["url", "paper km", "paper ms", "model ms", "delta %"],
+        [
+            [
+                r.url,
+                r.paper_distance_km,
+                r.paper_latency_ms,
+                r.model_latency_ms,
+                100.0 * (r.model_latency_ms - r.paper_latency_ms) / r.paper_latency_ms,
+            ]
+            for r in rows
+        ],
+        title="Table III -- Internet latency within Australia",
+        decimals=1,
+    )
+    record_table("table3", rendered)
+
+    # Shape 1: positive relationship (the paper's stated conclusion).
+    assert table3_correlation() > 0.95
+
+    # Shape 2: monotone in distance, 18 ms floor, ~80 ms at Perth.
+    ordered = sorted(rows, key=lambda r: r.paper_distance_km)
+    assert ordered[0].model_latency_ms == pytest.approx(18.0, abs=3.0)
+    assert ordered[-1].model_latency_ms == pytest.approx(82.0, rel=0.15)
+
+    # Shape 3: per-row agreement within 25 %.
+    for row in rows:
+        assert (
+            abs(row.model_latency_ms - row.paper_latency_ms) / row.paper_latency_ms
+            < 0.25
+        ), row.url
+
+
+def test_table3_speed_bound(benchmark):
+    """No modelled path may beat the 4/9 c envelope the paper cites."""
+    from repro.netsim.latency import INTERNET_SPEED_KM_PER_MS
+
+    rows = benchmark(table3_internet_latency)
+    for row in rows:
+        implied_speed = 2.0 * row.model_distance_km / row.model_latency_ms
+        assert implied_speed <= INTERNET_SPEED_KM_PER_MS + 1e-6, row.url

@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every bench both *times* the reproduction code (pytest-benchmark) and
+*prints* the regenerated table/figure rows next to the paper's values,
+with assertions pinning the shape (who wins, by what factor, where
+crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(-s shows the regenerated tables; without it they appear only in this
+file's terminal summary hook.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Collected (title, rendered table) pairs, printed at session end so
+#: the regenerated tables are visible even without -s.
+_RENDERED: list[tuple[str, str]] = []
+
+
+def record_table(title: str, rendered: str) -> None:
+    """Register a regenerated table for the end-of-run report."""
+    print(f"\n{rendered}\n")
+    _RENDERED.append((title, rendered))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RENDERED:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables/figures")
+    for title, rendered in _RENDERED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(rendered)
+    _RENDERED.clear()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The paper's extension: GeoProof over *dynamic* data (DPOR-style).
+
+The Juels-Kaliski POR is static -- updating one block means re-encoding
+the file.  The paper points at Wang et al.'s dynamic POR as the drop-in
+replacement; this example runs our Merkle-tree dynamic POR through an
+edit-heavy workload and shows audits staying sound across updates,
+including a server that tries to cheat on an update.
+
+Run:  python examples/dynamic_data.py
+"""
+
+from repro import DeterministicRNG, VerificationError
+from repro.por.dynamic import DynamicPOR
+from repro.por.setup import PORKeys
+
+
+def main() -> None:
+    rng = DeterministicRNG("dynamic-example")
+    keys = PORKeys.derive(b"dynamic-example-master-key!!")
+
+    # Outsource a 200-block database file.
+    client = DynamicPOR(keys.mac_key, b"orders-db")
+    blocks = [rng.fork(f"block-{i}").random_bytes(64) for i in range(200)]
+    server = client.outsource(blocks)
+    print(f"outsourced {client.n_blocks} blocks, root {client.root.hex()[:16]}...")
+
+    # Interleave audits and updates.
+    audit_rng = rng.fork("audits")
+    for day in range(1, 6):
+        # Daily edits: rewrite a handful of blocks.
+        for edit in range(3):
+            index = audit_rng.randrange(client.n_blocks)
+            client.update_block(
+                server, index, rng.fork(f"day{day}-edit{edit}").random_bytes(64)
+            )
+        # Daily audit: 20 random blocks.
+        challenged = client.make_challenge(20, audit_rng)
+        all_ok = all(client.verify(server.prove(i)) for i in challenged)
+        print(f"day {day}: 3 updates, audit of 20 blocks -> ok={all_ok}")
+        assert all_ok
+
+    # A cheating update: the server applies different data than asked.
+    print("\nserver tries to apply a tampered update...")
+    before_block, before_tag = server.blocks[0], server.tags[0]
+    original_apply = server.apply_update
+
+    def tampered_apply(index, new_block, new_tag):
+        original_apply(index, b"\x00" * 64, new_tag)
+
+    server.apply_update = tampered_apply
+    try:
+        client.update_block(server, 0, b"legitimate-new-content".ljust(64))
+    except VerificationError as exc:
+        print(f"caught: {exc}")
+    else:
+        raise AssertionError("tampered update must be detected")
+
+    # The client's root was never advanced, so the server is now
+    # provably inconsistent -- every proof it produces fails until it
+    # rolls the tampered write back to the state the root names.
+    server.apply_update = original_apply
+    assert not client.verify(server.prove(1))
+    print("server tree poisoned -> all its proofs now fail (as they must)")
+    server.apply_update(0, before_block, before_tag)  # roll back
+    assert client.verify(server.prove(1))
+    print("after rollback to the attested state, honest audits resume")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Section III-B as an experiment: why geolocation can't replace GeoProof.
+
+Runs the five geolocation baselines (GeoPing, Octant-style, TBG,
+GeoTrack, GeoCluster) against targets on a sparse continental topology
+and prints their errors -- reproducing the paper's observation that
+"most provide location estimates with worst-case errors of over
+1000 km" and, more fundamentally, that none of them is adversarial:
+they locate *hosts that cooperate*, while GeoProof binds the *data* and
+treats the provider as malicious.
+
+Run:  python examples/geolocation_survey.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.geo.coords import GeoPoint
+from repro.geoloc.geocluster import BGPTable, GeoCluster
+from repro.geoloc.geoping import GeoPing
+from repro.geoloc.geotrack import DNSHintDatabase, GeoTrack
+from repro.geoloc.octant import OctantLike
+from repro.geoloc.tbg import TopologyBasedGeolocation
+from repro.netsim.topology import NetworkTopology, Node
+
+LANDMARK_SITES = {
+    "bne-lm": GeoPoint(-27.47, 153.03, "Brisbane"),
+    "syd-lm": GeoPoint(-33.87, 151.21, "Sydney"),
+    "mel-lm": GeoPoint(-37.81, 144.96, "Melbourne"),
+}
+TARGET_SITES = {
+    "target-cbr": GeoPoint(-35.28, 149.13, "Canberra"),
+    "target-adl": GeoPoint(-34.93, 138.60, "Adelaide"),
+    "target-per": GeoPoint(-31.95, 115.86, "Perth"),
+    "target-dar": GeoPoint(-12.46, 130.84, "Darwin"),
+}
+
+
+def build_world() -> NetworkTopology:
+    topology = NetworkTopology()
+    for name, position in {**LANDMARK_SITES, **TARGET_SITES}.items():
+        kind = "landmark" if name.endswith("-lm") else "target"
+        topology.add_node(Node(name, position, kind=kind))
+    topology.add_node(Node("core-syd.isp.net", GeoPoint(-33.86, 151.20), kind="router"))
+    topology.add_node(Node("core-mel.isp.net", GeoPoint(-37.80, 144.95), kind="router"))
+    topology.add_link("bne-lm", "core-syd.isp.net", inflation=1.3)
+    topology.add_link("syd-lm", "core-syd.isp.net", latency_ms=0.3)
+    topology.add_link("core-syd.isp.net", "core-mel.isp.net", inflation=1.3)
+    topology.add_link("mel-lm", "core-mel.isp.net", latency_ms=0.3)
+    topology.add_link("core-syd.isp.net", "target-cbr", inflation=1.3)
+    topology.add_link("core-mel.isp.net", "target-adl", inflation=1.3)
+    topology.add_link("core-mel.isp.net", "target-per", inflation=1.6)
+    topology.add_link("bne-lm", "target-dar", inflation=1.6)
+    return topology
+
+
+def main() -> None:
+    topology = build_world()
+    landmarks = list(LANDMARK_SITES)
+
+    dns = DNSHintDatabase()
+    dns.add("syd", LANDMARK_SITES["syd-lm"])
+    dns.add("mel", LANDMARK_SITES["mel-lm"])
+
+    bgp = BGPTable()
+    bgp.announce("10")
+    for i, name in enumerate(TARGET_SITES):
+        bgp.assign_address(name, f"10.{i}.0.1")
+    bgp.add_known_location("10", LANDMARK_SITES["syd-lm"])
+    bgp.add_known_location("10", LANDMARK_SITES["mel-lm"])
+
+    schemes = [
+        GeoPing(topology, landmarks),
+        OctantLike(topology, landmarks, grid_step_km=80.0),
+        TopologyBasedGeolocation(topology, landmarks),
+        GeoTrack(topology, landmarks, dns),
+        GeoCluster(topology, landmarks, bgp),
+    ]
+
+    rows = []
+    worst_overall = 0.0
+    for scheme in schemes:
+        errors = {
+            TARGET_SITES[t].label: scheme.score(t).error_km for t in TARGET_SITES
+        }
+        worst = max(errors.values())
+        worst_overall = max(worst_overall, worst)
+        rows.append(
+            [
+                scheme.name,
+                *[round(errors[city.label]) for city in TARGET_SITES.values()],
+                round(worst),
+            ]
+        )
+
+    print(
+        format_table(
+            ["scheme", "Canberra", "Adelaide", "Perth", "Darwin", "worst km"],
+            rows,
+            title=(
+                "geolocation error (km) -- landmarks on the east coast only"
+            ),
+        )
+    )
+    print(
+        f"\nworst error across schemes: {worst_overall:.0f} km"
+        "\n-> the paper's '>1000 km worst case' reproduced."
+        "\n\nAnd the structural gap: every number above assumes the target"
+        "\nanswers probes honestly.  A malicious cloud provider controls"
+        "\nits own latencies and routes; only a protocol that (a) binds"
+        "\nthe *stored data* into the timed exchange and (b) assumes a"
+        "\nmalicious prover -- i.e. GeoProof -- yields an assurance."
+    )
+    assert worst_overall > 1000.0
+
+
+if __name__ == "__main__":
+    main()

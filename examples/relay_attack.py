@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The Fig. 6 scenario: a provider secretly relocates data offshore.
+
+A provider under an Australia-only SLA moves the file to a Singapore
+data centre with *faster* disks (the paper's IBM 36Z15 vs WD 2500JD)
+and relays audit traffic.  GeoProof catches it on timing alone -- the
+MAC tags all verify (the data is intact!), but physics does not
+cooperate: forwarding across ~6,150 km costs more than the
+Delta-t_max ~ 16 ms budget allows.
+
+The script then sweeps the relay distance to show where the bound
+bites, next to the paper's 360 km arithmetic.
+
+Run:  python examples/relay_attack.py
+"""
+
+from repro import DataCentre, DeterministicRNG, GeoProofSession, RelayAttack, city
+from repro.analysis.experiments import fig6_paper_bound_km, fig6_relay_sweep, fig6_tight_bound_km
+from repro.analysis.reporting import format_table
+from repro.por.parameters import TEST_PARAMS
+from repro.storage.hdd import IBM_36Z15
+
+
+def main() -> None:
+    session = GeoProofSession.build(
+        datacentre_location=city("brisbane"),
+        params=TEST_PARAMS,
+        seed="relay-example",
+    )
+    data = DeterministicRNG("relay-data").random_bytes(40_000)
+    session.outsource(b"regulated-records", data)
+
+    print("=== phase 1: honest provider ===")
+    outcome = session.audit(b"regulated-records", k=20)
+    print(
+        f"accepted={outcome.verdict.accepted}, "
+        f"max RTT {outcome.verdict.max_rtt_ms:.2f} ms "
+        f"<= budget {outcome.verdict.rtt_max_ms:.2f} ms"
+    )
+
+    print("\n=== phase 2: provider relocates to Singapore and relays ===")
+    session.provider.add_datacentre(
+        DataCentre("singapore", city("singapore"), disk=IBM_36Z15)
+    )
+    session.provider.relocate(b"regulated-records", "singapore")
+    session.provider.set_strategy(RelayAttack("home", "singapore"))
+
+    outcome = session.audit(b"regulated-records", k=20)
+    print(
+        f"accepted={outcome.verdict.accepted}, "
+        f"failure reasons: {outcome.verdict.failure_reasons}"
+    )
+    print(
+        f"MAC tags all valid: {outcome.verdict.macs_ok} "
+        "(the data is intact -- it is just in the wrong country)"
+    )
+    print(
+        f"max RTT {outcome.verdict.max_rtt_ms:.1f} ms blows the "
+        f"{outcome.verdict.rtt_max_ms:.1f} ms budget"
+    )
+    assert not outcome.verdict.accepted
+
+    print("\n=== phase 3: how far away could a relay hide? ===")
+    print(f"paper's propagation-only bound: {fig6_paper_bound_km():.0f} km")
+    print(f"tight bound (adversary pays its own disk): {fig6_tight_bound_km():.0f} km")
+    rows = fig6_relay_sweep(distances_km=[0.0, 100.0, 360.0, 1000.0, 6150.0], k=10)
+    print(
+        format_table(
+            ["relay km", "max RTT ms", "budget ms", "caught"],
+            [
+                [r.relay_distance_km, r.max_rtt_ms, r.rtt_max_ms, r.detected]
+                for r in rows
+            ],
+            decimals=2,
+        )
+    )
+    print(
+        "\nNote: with a realistic last-mile floor (~16 ms base RTT) even a"
+        "\n100 km relay is caught -- the paper's 360 km is the worst case"
+        "\nfor an adversary with a zero-overhead network path."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim for environments whose pip/setuptools predate PEP 660
+editable installs.  All metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

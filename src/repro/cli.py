@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate paper tables and run audits.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli table1            # Table I (HDD latency)
+    python -m repro.cli table2            # Table II (LAN latency)
+    python -m repro.cli table3            # Table III (Internet latency)
+    python -m repro.cli fig6              # relay-attack sweep
+    python -m repro.cli audit --size 50000 --rounds 30
+    python -m repro.cli audit --attack relay --remote singapore
+    python -m repro.cli analyse --segments 1000000 --epsilon 0.005
+
+Each subcommand prints the same rows the benchmarks assert on, so the
+CLI is a thin, scriptable window onto :mod:`repro.analysis.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    fig6_paper_bound_km,
+    fig6_relay_sweep,
+    fig6_tight_bound_km,
+    table1_hdd_latency,
+    table2_lan_latency,
+    table3_correlation,
+    table3_internet_latency,
+)
+from repro.analysis.reporting import format_table
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1_hdd_latency(args.read_bytes)
+    print(
+        format_table(
+            ["disk", "rpm", "seek ms", "rotate ms", "xfer ms", "lookup ms"],
+            [
+                [r.name, r.rpm, r.seek_ms, r.rotate_ms, r.transfer_ms, r.lookup_ms]
+                for r in rows
+            ],
+            title=f"Table I -- HDD look-up latency ({args.read_bytes}-byte read)",
+            decimals=4,
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = table2_lan_latency(seed=args.seed)
+    print(
+        format_table(
+            ["machine", "location", "distance km", "RTT ms", "< 1 ms"],
+            [
+                [r.machine, r.location_label, r.distance_km, r.rtt_ms, r.under_1ms]
+                for r in rows
+            ],
+            title="Table II -- LAN latency within QUT (simulated)",
+            decimals=4,
+        )
+    )
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    rows = table3_internet_latency()
+    print(
+        format_table(
+            ["url", "paper km", "paper ms", "model ms"],
+            [
+                [r.url, r.paper_distance_km, r.paper_latency_ms, r.model_latency_ms]
+                for r in rows
+            ],
+            title="Table III -- Internet latency within Australia",
+            decimals=1,
+        )
+    )
+    print(f"\ndistance-latency correlation: {table3_correlation():.4f}")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    rows = fig6_relay_sweep(
+        distances_km=args.distances, k=args.rounds, seed=args.seed
+    )
+    print(
+        format_table(
+            ["relay km", "max RTT ms", "budget ms", "detected"],
+            [
+                [r.relay_distance_km, r.max_rtt_ms, r.rtt_max_ms, r.detected]
+                for r in rows
+            ],
+            title="Fig. 6 -- relay attack vs distance",
+            decimals=2,
+        )
+    )
+    print(f"\npaper relay bound: {fig6_paper_bound_km():.1f} km")
+    print(f"tight relay bound: {fig6_tight_bound_km():.1f} km")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.cloud.adversary import CorruptionAttack, RelayAttack
+    from repro.cloud.provider import DataCentre
+    from repro.core.session import GeoProofSession
+    from repro.crypto.rng import DeterministicRNG
+    from repro.geo.datasets import city
+    from repro.por.parameters import TEST_PARAMS
+    from repro.storage.hdd import IBM_36Z15
+
+    session = GeoProofSession.build(
+        datacentre_location=city(args.home),
+        params=TEST_PARAMS,
+        seed=args.seed,
+    )
+    data = DeterministicRNG(f"{args.seed}-data").random_bytes(args.size)
+    session.outsource(b"cli-file", data)
+
+    if args.attack == "relay":
+        session.provider.add_datacentre(
+            DataCentre("remote", city(args.remote), disk=IBM_36Z15)
+        )
+        session.provider.relocate(b"cli-file", "remote")
+        session.provider.set_strategy(RelayAttack("home", "remote"))
+    elif args.attack == "corrupt":
+        session.provider.set_strategy(
+            CorruptionAttack("home", args.epsilon, DeterministicRNG(args.seed))
+        )
+
+    outcome = session.audit(b"cli-file", k=args.rounds)
+    verdict = outcome.verdict
+    print(f"file: {args.size} bytes, {session.files[b'cli-file'].n_segments} segments")
+    print(f"attack: {args.attack or 'none'}")
+    print(f"rounds: {outcome.transcript.k}")
+    print(f"max RTT: {verdict.max_rtt_ms:.3f} ms (budget {verdict.rtt_max_ms:.3f} ms)")
+    print(f"accepted: {verdict.accepted}")
+    if not verdict.accepted:
+        print(f"failure reasons: {', '.join(verdict.failure_reasons)}")
+    return 0 if verdict.accepted == (args.attack is None) else 1
+
+
+def _cmd_analyse(args: argparse.Namespace) -> int:
+    from repro.analysis.security import analyse_deployment
+    from repro.cloud.sla import SLAPolicy
+    from repro.geo.datasets import city
+    from repro.geo.regions import CircularRegion
+
+    sla = SLAPolicy(
+        region=CircularRegion(city(args.home), args.radius_km),
+        margin_ms=args.margin_ms,
+    )
+    report = analyse_deployment(
+        n_segments=args.segments,
+        sla=sla,
+        corruption_fraction=args.epsilon,
+        k_rounds=args.rounds,
+    )
+    print("GeoProof deployment security analysis")
+    for line in report.summary_lines():
+        print(f"  {line}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GeoProof reproduction: regenerate paper experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    t1 = subparsers.add_parser("table1", help="Table I: HDD look-up latency")
+    t1.add_argument("--read-bytes", type=int, default=512)
+    t1.set_defaults(func=_cmd_table1)
+
+    t2 = subparsers.add_parser("table2", help="Table II: QUT LAN latency")
+    t2.add_argument("--seed", default="table2")
+    t2.set_defaults(func=_cmd_table2)
+
+    t3 = subparsers.add_parser("table3", help="Table III: AU Internet latency")
+    t3.set_defaults(func=_cmd_table3)
+
+    f6 = subparsers.add_parser("fig6", help="Fig. 6: relay-attack sweep")
+    f6.add_argument("--rounds", type=int, default=10)
+    f6.add_argument("--seed", default="fig6")
+    f6.add_argument(
+        "--distances",
+        type=float,
+        nargs="+",
+        default=None,
+        help="relay distances in km",
+    )
+    f6.set_defaults(func=_cmd_fig6)
+
+    audit = subparsers.add_parser("audit", help="run one GeoProof audit")
+    audit.add_argument("--size", type=int, default=30_000, help="file bytes")
+    audit.add_argument("--rounds", type=int, default=20)
+    audit.add_argument("--home", default="brisbane")
+    audit.add_argument("--remote", default="singapore")
+    audit.add_argument(
+        "--attack", choices=["relay", "corrupt"], default=None
+    )
+    audit.add_argument("--epsilon", type=float, default=0.05)
+    audit.add_argument("--seed", default="cli")
+    audit.set_defaults(func=_cmd_audit)
+
+    analyse = subparsers.add_parser(
+        "analyse", help="closed-form security analysis for a deployment"
+    )
+    analyse.add_argument("--segments", type=int, default=1_000_000)
+    analyse.add_argument("--epsilon", type=float, default=0.005)
+    analyse.add_argument("--rounds", type=int, default=1000)
+    analyse.add_argument("--home", default="brisbane")
+    analyse.add_argument("--radius-km", type=float, default=100.0)
+    analyse.add_argument("--margin-ms", type=float, default=0.0)
+    analyse.set_defaults(func=_cmd_analyse)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,317 @@
+"""Provider misbehaviour strategies.
+
+Each strategy implements ``handle_request(provider, file_id, index) ->
+ServeResult`` and is installed with
+:meth:`~repro.cloud.provider.CloudProvider.set_strategy`.  The elapsed
+time a strategy reports is what the verifier's clock will observe
+provider-side, so the physics of each attack lives here:
+
+* :class:`RelayAttack` -- Fig. 6: the local site P holds no data and
+  forwards every request to a remote site P~ over the Internet; the
+  round costs forward flight + remote disk + return flight.
+* :class:`PrefetchRelayAttack` -- relay plus a RAM cache at the local
+  site warmed with previously-seen segments; cache hits skip both the
+  flight and the disk.
+* :class:`CorruptionAttack` -- serves locally but a fraction of
+  segments were corrupted/bit-rotted (detected by MAC checks, step 3).
+* :class:`DeletionAttack` -- a fraction of segments were discarded to
+  save space; requests for them are answered with a substituted
+  segment (detected by MAC checks).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.provider import CloudProvider, DataCentre, ServeResult
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import ConfigurationError
+from repro.geo.coords import haversine_km
+from repro.por.file_format import Segment
+from repro.storage.cache import LRUCache
+from repro.util.validation import check_probability
+
+
+class RelayAttack:
+    """Forward audits to a remote data centre (the Fig. 6 scenario).
+
+    Parameters
+    ----------
+    front_name:
+        The local site the verifier believes it is talking to (P).
+    remote_name:
+        Where the data actually lives (P~).
+    forwarding_overhead_ms:
+        Local processing to turn around each forwarded request.
+    """
+
+    def __init__(
+        self,
+        front_name: str,
+        remote_name: str,
+        *,
+        forwarding_overhead_ms: float = 0.05,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        if forwarding_overhead_ms < 0:
+            raise ConfigurationError(
+                f"forwarding overhead must be >= 0, got {forwarding_overhead_ms}"
+            )
+        self.front_name = front_name
+        self.remote_name = remote_name
+        self.forwarding_overhead_ms = forwarding_overhead_ms
+        self._rng = rng
+
+    def handle_request(
+        self, provider: CloudProvider, file_id: bytes, index: int
+    ) -> ServeResult:
+        """Forward the request to the remote site (paying flight + remote disk)."""
+        front = provider.datacentre(self.front_name)
+        remote = provider.datacentre(self.remote_name)
+        distance = haversine_km(front.location, remote.location)
+        flight_ms = provider.internet.rtt_ms(distance, rng=self._rng)
+        remote_result = remote.serve(file_id, index)
+        return ServeResult(
+            segment=remote_result.segment,
+            elapsed_ms=self.forwarding_overhead_ms
+            + flight_ms
+            + remote_result.elapsed_ms,
+            served_by=f"{self.front_name}->{self.remote_name}",
+        )
+
+
+class PrefetchRelayAttack(RelayAttack):
+    """Relay with a warm local RAM cache.
+
+    The adversary caches every segment it relays (and can pre-warm the
+    cache); a challenged index already in cache is served at RAM speed
+    from the front site, defeating both the flight and the disk terms
+    *for that round*.  GeoProof's defence is challenge unpredictability:
+    with uniform random indices the expected hit rate is bounded by
+    cache_size / file_size, so at least one of k rounds misses with
+    probability 1 - hit_rate^k -- and the verdict gates on max RTT.
+    """
+
+    def __init__(
+        self,
+        front_name: str,
+        remote_name: str,
+        *,
+        cache_bytes: int,
+        forwarding_overhead_ms: float = 0.05,
+        cache_hit_ms: float = 0.1,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        super().__init__(
+            front_name,
+            remote_name,
+            forwarding_overhead_ms=forwarding_overhead_ms,
+            rng=rng,
+        )
+        self.cache = LRUCache(cache_bytes)
+        self.cache_hit_ms = cache_hit_ms
+
+    def prewarm(
+        self, provider: CloudProvider, file_id: bytes, indices: list[int]
+    ) -> int:
+        """Pull segments into the front cache before the audit (free)."""
+        remote = provider.datacentre(self.remote_name)
+        warmed = 0
+        for index in indices:
+            segment = remote.server.store.get_segment(file_id, index)
+            self.cache.put((file_id, index), segment.wire_bytes())
+            warmed += 1
+        return warmed
+
+    def handle_request(
+        self, provider: CloudProvider, file_id: bytes, index: int
+    ) -> ServeResult:
+        """Serve from the warm front cache when possible, else relay."""
+        cached = self.cache.get((file_id, index))
+        if cached is not None:
+            segment = Segment.from_wire(cached)[0]
+            return ServeResult(
+                segment=segment,
+                elapsed_ms=self.forwarding_overhead_ms + self.cache_hit_ms,
+                served_by=f"{self.front_name} (cache)",
+            )
+        result = super().handle_request(provider, file_id, index)
+        self.cache.put((file_id, index), result.segment.wire_bytes())
+        return result
+
+
+class PartialRelocationAttack:
+    """Keep hot segments local, move the cold tail offshore.
+
+    The economically-smart fraud: a provider saving money on storage
+    keeps the fraction of segments it expects to be accessed (or
+    challenged) on the contracted site and quietly relocates the rest.
+    Requests for relocated segments are relayed.
+
+    This is the strongest argument for GeoProof's *max*-RTT verdict:
+    the mean round time barely moves when only a few challenged indices
+    hit the relocated tail, but a single relayed round blows the max.
+    A quantile/mean gate would need the challenge set to hit the tail
+    many times; the max gate needs exactly one hit, so detection per
+    audit is ``1 - (local_fraction)^k``.
+    """
+
+    def __init__(
+        self,
+        front_name: str,
+        remote_name: str,
+        local_fraction: float,
+        rng: DeterministicRNG,
+        *,
+        forwarding_overhead_ms: float = 0.05,
+    ) -> None:
+        check_probability("local_fraction", local_fraction)
+        self.front_name = front_name
+        self.remote_name = remote_name
+        self.local_fraction = local_fraction
+        self._rng = rng
+        self._relay = RelayAttack(
+            front_name,
+            remote_name,
+            forwarding_overhead_ms=forwarding_overhead_ms,
+        )
+        self._local_sets: dict[bytes, set[int]] = {}
+
+    def local_indices(self, provider: CloudProvider, file_id: bytes) -> set[int]:
+        """The (lazily drawn) segments kept at the front site."""
+        if file_id not in self._local_sets:
+            remote = provider.datacentre(self.remote_name)
+            n = remote.server.store.n_segments(file_id)
+            n_local = round(self.local_fraction * n)
+            self._local_sets[file_id] = set(
+                self._rng.sample_indices(n, n_local)
+            )
+        return self._local_sets[file_id]
+
+    def handle_request(
+        self, provider: CloudProvider, file_id: bytes, index: int
+    ) -> ServeResult:
+        """Serve hot segments locally; relay the relocated cold tail."""
+        front = provider.datacentre(self.front_name)
+        if index in self.local_indices(provider, file_id):
+            # Hot segment: the front kept a copy; serve at local disk
+            # speed (the front's store may not hold the file container,
+            # so read from the remote store but charge front disk time).
+            remote = provider.datacentre(self.remote_name)
+            segment = remote.server.store.get_segment(file_id, index)
+            disk_ms = front.server.disk.lookup_ms(segment.size_bytes)
+            return ServeResult(
+                segment=segment,
+                elapsed_ms=disk_ms,
+                served_by=f"{self.front_name} (hot)",
+            )
+        return self._relay.handle_request(provider, file_id, index)
+
+
+class CorruptionAttack:
+    """Serve locally, but a fraction of segments are corrupted.
+
+    ``corrupt_fraction`` of segment indices (chosen pseudorandomly at
+    install time) have their payload bit-flipped; tags are left intact
+    so step-3 MAC verification is what catches it -- the detection
+    probability experiment (claim C2).
+    """
+
+    def __init__(
+        self,
+        datacentre_name: str,
+        corrupt_fraction: float,
+        rng: DeterministicRNG,
+    ) -> None:
+        check_probability("corrupt_fraction", corrupt_fraction)
+        self.datacentre_name = datacentre_name
+        self.corrupt_fraction = corrupt_fraction
+        self._rng = rng
+        self._corrupted: dict[bytes, set[int]] = {}
+
+    def corrupted_indices(
+        self, provider: CloudProvider, file_id: bytes
+    ) -> set[int]:
+        """The (lazily drawn) corrupted index set for a file."""
+        if file_id not in self._corrupted:
+            datacentre = provider.datacentre(self.datacentre_name)
+            n = datacentre.server.store.n_segments(file_id)
+            n_corrupt = round(self.corrupt_fraction * n)
+            self._corrupted[file_id] = set(
+                self._rng.sample_indices(n, n_corrupt)
+            )
+        return self._corrupted[file_id]
+
+    def handle_request(
+        self, provider: CloudProvider, file_id: bytes, index: int
+    ) -> ServeResult:
+        """Serve locally, corrupting payloads of the chosen index set."""
+        datacentre = provider.datacentre(self.datacentre_name)
+        result = datacentre.serve(file_id, index)
+        if index in self.corrupted_indices(provider, file_id):
+            payload = bytearray(result.segment.payload)
+            payload[0] ^= 0xFF  # single-byte rot: small but tag-fatal
+            corrupted = Segment(
+                index=result.segment.index,
+                payload=bytes(payload),
+                tag=result.segment.tag,
+            )
+            return ServeResult(
+                segment=corrupted,
+                elapsed_ms=result.elapsed_ms,
+                served_by=result.served_by,
+            )
+        return result
+
+
+class DeletionAttack:
+    """A fraction of segments were deleted; substitutes are served.
+
+    Models space-saving fraud: for deleted indices the provider returns
+    the nearest surviving segment *re-labelled* with the requested
+    index.  Tags bind position, so the MAC check catches the
+    substitution.
+    """
+
+    def __init__(
+        self,
+        datacentre_name: str,
+        delete_fraction: float,
+        rng: DeterministicRNG,
+    ) -> None:
+        check_probability("delete_fraction", delete_fraction)
+        self.datacentre_name = datacentre_name
+        self.delete_fraction = delete_fraction
+        self._rng = rng
+        self._deleted: dict[bytes, set[int]] = {}
+
+    def deleted_indices(self, provider: CloudProvider, file_id: bytes) -> set[int]:
+        """The (lazily drawn) deleted index set for a file."""
+        if file_id not in self._deleted:
+            datacentre = provider.datacentre(self.datacentre_name)
+            n = datacentre.server.store.n_segments(file_id)
+            n_delete = round(self.delete_fraction * n)
+            self._deleted[file_id] = set(self._rng.sample_indices(n, n_delete))
+        return self._deleted[file_id]
+
+    def handle_request(
+        self, provider: CloudProvider, file_id: bytes, index: int
+    ) -> ServeResult:
+        """Serve locally, substituting for deleted indices."""
+        datacentre = provider.datacentre(self.datacentre_name)
+        deleted = self.deleted_indices(provider, file_id)
+        if index not in deleted:
+            return datacentre.serve(file_id, index)
+        n = datacentre.server.store.n_segments(file_id)
+        substitute_index = next(
+            i for i in range(n) if i not in deleted
+        )
+        result = datacentre.serve(file_id, substitute_index)
+        forged = Segment(
+            index=index,
+            payload=result.segment.payload,
+            tag=result.segment.tag,
+        )
+        return ServeResult(
+            segment=forged,
+            elapsed_ms=result.elapsed_ms,
+            served_by=result.served_by,
+        )

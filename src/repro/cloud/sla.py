@@ -1,0 +1,72 @@
+"""SLA terms: the geographic clause and the calibrated timing budget.
+
+"These measurements could be made at the contract time at the place
+where the data centre is located and could be based on the concrete
+settings of the data centre" -- an :class:`SLAPolicy` captures exactly
+that contract-time calibration: the allowed region, the disk class the
+provider committed to, the LAN budget, and the resulting
+``Delta-t_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.geo.regions import Region
+from repro.storage.hdd import HDDModel, HDDSpec, WD_2500JD
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SLAPolicy:
+    """The contract: where the data must live and how fast audits answer.
+
+    Attributes
+    ----------
+    region:
+        The geographic region the data (and verifier) must stay in.
+    disk:
+        The disk class measured at contract time; its average look-up
+        feeds the timing budget (the paper's Delta-t_L ~ 13 ms).
+    lan_rtt_budget_ms:
+        Allowance for the verifier-prover LAN round trip (the paper
+        uses up to 3 ms).
+    margin_ms:
+        Safety margin for honest jitter; every millisecond of margin is
+        relay headroom, quantified in the ablation bench.
+    segment_bytes:
+        Stored segment size, for the disk transfer term.
+    min_rounds:
+        Minimum number of timed rounds per audit (the paper's k).
+    """
+
+    region: Region
+    disk: HDDSpec = WD_2500JD
+    lan_rtt_budget_ms: float = 3.0
+    margin_ms: float = 0.0
+    segment_bytes: int = 512
+    min_rounds: int = 50
+
+    def __post_init__(self) -> None:
+        check_positive("lan_rtt_budget_ms", self.lan_rtt_budget_ms)
+        check_positive("margin_ms", self.margin_ms, strict=False)
+        check_positive("segment_bytes", self.segment_bytes)
+        if self.min_rounds <= 0:
+            raise ConfigurationError(
+                f"min_rounds must be positive, got {self.min_rounds}"
+            )
+
+    @property
+    def lookup_budget_ms(self) -> float:
+        """Disk look-up allowance Delta-t_L (datasheet average)."""
+        return HDDModel(self.disk).lookup_ms(self.segment_bytes)
+
+    @property
+    def rtt_max_ms(self) -> float:
+        """The audit's timing bound Delta-t_max.
+
+        ``Delta-t_max = Delta-t_VP + Delta-t_L + margin`` -- the
+        paper's 3 + 13 ~= 16 ms with the default WD 2500JD disk.
+        """
+        return self.lan_rtt_budget_ms + self.lookup_budget_ms + self.margin_ms

@@ -1,0 +1,161 @@
+"""The third-party auditor (TPA).
+
+"A third party auditor communicates with this device in order to
+assure the geographic location on behalf of the data owner.  The TPA
+knows the secret key used to verify the MAC tags associated to the
+data."
+
+The TPA issues :class:`~repro.core.messages.AuditRequest`s to the
+verifier device, verifies the signed transcripts it gets back
+(:func:`~repro.core.verification.verify_transcript`), and keeps an
+audit log for compliance reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.provider import CloudProvider
+from repro.cloud.sla import SLAPolicy
+from repro.cloud.verifier import VerifierDevice
+from repro.core.messages import AuditRequest, SignedTranscript
+from repro.core.verification import GeoProofVerdict, verify_transcript
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import ConfigurationError
+from repro.por.parameters import PORParams
+
+
+@dataclass(frozen=True)
+class AuditOutcome:
+    """One completed audit: request, transcript, verdict, timestamp."""
+
+    request: AuditRequest
+    transcript: SignedTranscript
+    verdict: GeoProofVerdict
+    started_ms: float
+    finished_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall (simulated) duration of the audit's timed phase."""
+        return self.finished_ms - self.started_ms
+
+
+@dataclass
+class FileRecord:
+    """What the TPA knows about one outsourced file."""
+
+    file_id: bytes
+    n_segments: int
+    mac_key: bytes
+    params: PORParams
+    sla: SLAPolicy
+
+
+class ThirdPartyAuditor:
+    """Drives GeoProof audits on behalf of data owners."""
+
+    def __init__(self, name: str, rng: DeterministicRNG) -> None:
+        self.name = name
+        self._rng = rng
+        self._files: dict[bytes, FileRecord] = {}
+        self.audit_log: list[AuditOutcome] = []
+
+    # -- registration ---------------------------------------------------
+
+    def register_file(
+        self,
+        file_id: bytes,
+        n_segments: int,
+        mac_key: bytes,
+        params: PORParams,
+        sla: SLAPolicy,
+    ) -> None:
+        """Take over auditing duty for an outsourced file."""
+        if file_id in self._files:
+            raise ConfigurationError(f"file {file_id!r} already registered")
+        self._files[file_id] = FileRecord(
+            file_id=file_id,
+            n_segments=n_segments,
+            mac_key=mac_key,
+            params=params,
+            sla=sla,
+        )
+
+    def record(self, file_id: bytes) -> FileRecord:
+        """Look up a registered file."""
+        record = self._files.get(file_id)
+        if record is None:
+            raise ConfigurationError(f"file {file_id!r} not registered")
+        return record
+
+    # -- auditing -----------------------------------------------------------
+
+    def make_request(self, file_id: bytes, k: int | None = None) -> AuditRequest:
+        """Build a fresh audit request (fresh nonce every time)."""
+        record = self.record(file_id)
+        rounds = k if k is not None else record.sla.min_rounds
+        return AuditRequest(
+            file_id=file_id,
+            n_segments=record.n_segments,
+            k=rounds,
+            nonce=self._rng.random_bytes(16),
+        )
+
+    def audit(
+        self,
+        file_id: bytes,
+        verifier: VerifierDevice,
+        provider: CloudProvider,
+        *,
+        k: int | None = None,
+        rtt_max_ms: float | None = None,
+        region=None,
+    ) -> AuditOutcome:
+        """Run one full audit and log the outcome.
+
+        ``rtt_max_ms`` overrides the SLA-calibrated budget (used by the
+        threshold-sweep benches) and ``region`` overrides the SLA's
+        geographic clause (used when auditing replica sites, each of
+        which has its own region); both default to the registered SLA.
+        """
+        record = self.record(file_id)
+        request = self.make_request(file_id, k)
+        started = verifier.clock.now_ms()
+        transcript = verifier.run_audit(request, provider)
+        finished = verifier.clock.now_ms()
+        verdict = verify_transcript(
+            transcript,
+            request,
+            verifier_public_key=verifier.public_key,
+            mac_key=record.mac_key,
+            params=record.params,
+            region=region if region is not None else record.sla.region,
+            rtt_max_ms=rtt_max_ms if rtt_max_ms is not None else record.sla.rtt_max_ms,
+        )
+        outcome = AuditOutcome(
+            request=request,
+            transcript=transcript,
+            verdict=verdict,
+            started_ms=started,
+            finished_ms=finished,
+        )
+        self.audit_log.append(outcome)
+        return outcome
+
+    # -- reporting ------------------------------------------------------------
+
+    def acceptance_rate(self) -> float:
+        """Fraction of logged audits that were accepted."""
+        if not self.audit_log:
+            return 0.0
+        accepted = sum(1 for o in self.audit_log if o.verdict.accepted)
+        return accepted / len(self.audit_log)
+
+    def failures_by_reason(self) -> dict[str, int]:
+        """Histogram of failure reasons across the log."""
+        histogram: dict[str, int] = {}
+        for outcome in self.audit_log:
+            for reason in outcome.verdict.failure_reasons:
+                histogram[reason] = histogram.get(reason, 0) + 1
+        return histogram

@@ -1,0 +1,147 @@
+"""The tamper-proof, GPS-enabled verifier device V (Fig. 4).
+
+"A device (GPS enabled to ensure physical location of this device)
+will be attached to the local network of the service provider.  We
+assume that this device is tamper proof ... The tamper proof device,
+which we called the verifier, has a private key which it uses to sign
+the transcript of the distance bounding protocol."
+
+The device:
+
+* sits at a fixed location on the provider's LAN (a
+  :class:`~repro.netsim.latency.LANModel` away from the data centre);
+* on request from the TPA, generates the challenge set ``c``, runs the
+  ``k`` timed rounds against the provider, timing each with the shared
+  simulated clock;
+* reads its GPS fix and signs ``R = (Delta-t*, c, segments, N, Pos_V)``
+  with its private key.
+
+The device does *not* know the MAC key and cannot judge segment
+correctness -- that separation is deliberate in the paper (the TPA
+verifies content; the device only attests timing and position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.provider import CloudProvider
+from repro.core.messages import AuditRequest, SignedTranscript, TimedRound
+from repro.crypto.rng import DeterministicRNG
+from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, schnorr_sign
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.geo.gps import GPSReceiver
+from repro.netsim.clock import SimClock
+from repro.netsim.latency import LANModel
+
+
+class VerifierDevice:
+    """The verifier appliance on the provider's LAN."""
+
+    def __init__(
+        self,
+        device_id: bytes,
+        location: GeoPoint,
+        *,
+        keypair: SchnorrKeyPair | None = None,
+        gps: GPSReceiver | None = None,
+        lan: LANModel | None = None,
+        clock: SimClock | None = None,
+        lan_distance_km: float = 0.05,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        if lan_distance_km < 0:
+            raise ConfigurationError(
+                f"lan_distance_km must be >= 0, got {lan_distance_km}"
+            )
+        self.device_id = device_id
+        self.location = location
+        self.keypair = keypair or SchnorrKeyPair.generate(seed=device_id)
+        self.gps = gps or GPSReceiver(location)
+        self.lan = lan or LANModel()
+        self.clock = clock or SimClock()
+        self.lan_distance_km = lan_distance_km
+        self._rng = rng
+
+    @property
+    def public_key(self) -> SchnorrPublicKey:
+        """The key the TPA uses to verify transcripts."""
+        return self.keypair.public
+
+    # -- the GeoProof protocol, verifier side ------------------------------
+
+    def generate_challenge(
+        self, request: AuditRequest, rng: DeterministicRNG
+    ) -> list[int]:
+        """Draw the random index set ``c = {c_1..c_k}``."""
+        if not 0 < request.k <= request.n_segments:
+            raise ConfigurationError(
+                f"k must be in 1..{request.n_segments}, got {request.k}"
+            )
+        return rng.sample_indices(request.n_segments, request.k)
+
+    def run_audit(
+        self,
+        request: AuditRequest,
+        provider: CloudProvider,
+        *,
+        rng: DeterministicRNG | None = None,
+    ) -> SignedTranscript:
+        """Run the timed phase and return the signed transcript R.
+
+        Per round j: send index ``c_j`` over the LAN, the provider
+        produces the segment (disk and/or relay time), the response
+        crosses the LAN back; ``Delta-t_j`` is the whole round trip as
+        seen by the device clock.
+        """
+        rng = rng or self._rng or DeterministicRNG(self.device_id + request.nonce)
+        # Fork on the request nonce: every audit must draw a fresh,
+        # unpredictable challenge set (a fixed set would let the
+        # provider prefetch exactly the challenged segments).
+        session_label = request.nonce.hex()
+        challenge = self.generate_challenge(
+            request, rng.fork(f"challenge-{session_label}")
+        )
+        jitter_rng = rng.fork(f"lan-jitter-{session_label}")
+        rounds: list[TimedRound] = []
+        request_bytes = 16  # index + framing on the wire
+        for index in challenge:
+            start_ms = self.clock.now_ms()
+            self.clock.advance(
+                self.lan.one_way_ms(self.lan_distance_km, request_bytes, jitter_rng)
+            )
+            serve = provider.handle_request(request.file_id, index)
+            self.clock.advance(serve.elapsed_ms)
+            self.clock.advance(
+                self.lan.one_way_ms(
+                    self.lan_distance_km,
+                    serve.segment.size_bytes,
+                    jitter_rng,
+                )
+            )
+            rounds.append(
+                TimedRound(
+                    index=index,
+                    segment=serve.segment,
+                    rtt_ms=self.clock.now_ms() - start_ms,
+                )
+            )
+        fix = self.gps.read_fix()
+        transcript = SignedTranscript(
+            device_id=self.device_id,
+            file_id=request.file_id,
+            nonce=request.nonce,
+            rounds=tuple(rounds),
+            position=fix.position,
+            signature=(0, 0),  # placeholder until signed below
+        )
+        signature = schnorr_sign(self.keypair.private, transcript.signed_payload())
+        return SignedTranscript(
+            device_id=transcript.device_id,
+            file_id=transcript.file_id,
+            nonce=transcript.nonce,
+            rounds=transcript.rounds,
+            position=transcript.position,
+            signature=signature,
+        )

@@ -1,0 +1,52 @@
+"""GeoProof core: the paper's primary contribution.
+
+* :mod:`repro.core.messages` -- the protocol messages of Fig. 5:
+  the TPA's audit request, the timed rounds, and the signed
+  transcript R.
+* :mod:`repro.core.calibration` -- Delta-t_max calibration
+  (Sections V-D/E/F) and the relay-distance bound.
+* :mod:`repro.core.verification` -- the TPA's four verification steps
+  (signature, GPS position, MAC tags, timing).
+* :mod:`repro.core.session` -- end-to-end orchestration: setup,
+  upload, audit, verdict.
+
+The *verifier device* half of the protocol lives in
+:mod:`repro.cloud.verifier` because it is a deployment actor; this
+package owns the message formats and the verification logic.
+"""
+
+from repro.core.calibration import (
+    TimingBudget,
+    calibrate_rtt_max,
+    relay_distance_bound_km,
+)
+from repro.core.messages import AuditRequest, SignedTranscript, TimedRound
+from repro.core.triangulation import LandmarkTriangulator, TriangulationResult
+from repro.core.verification import GeoProofVerdict, verify_transcript
+
+
+def __getattr__(name: str):
+    # The session modules pull in the cloud actors, which themselves
+    # import the message/verification modules above; importing them
+    # lazily keeps ``repro.core`` importable from inside those actors.
+    if name == "GeoProofSession":
+        from repro.core.session import GeoProofSession
+
+        return GeoProofSession
+    if name == "DynamicGeoProofSession":
+        from repro.core.dynamic_session import DynamicGeoProofSession
+
+        return DynamicGeoProofSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AuditRequest",
+    "TimedRound",
+    "SignedTranscript",
+    "TimingBudget",
+    "calibrate_rtt_max",
+    "relay_distance_bound_km",
+    "GeoProofVerdict",
+    "verify_transcript",
+    "GeoProofSession",
+]

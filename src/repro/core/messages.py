@@ -1,0 +1,130 @@
+"""GeoProof protocol messages (Fig. 5).
+
+Three message types cross the wire:
+
+1. :class:`AuditRequest` -- TPA -> V: total segment count ``n~``, the
+   number of rounds ``k``, and a fresh nonce ``N``.
+2. :class:`TimedRound` -- one row of the distance-bounding phase:
+   index ``c_j``, the returned segment ``S_cj || tau_cj``, and the
+   measured ``Delta-t_j``.
+3. :class:`SignedTranscript` -- V -> TPA: the paper's
+   ``R = Sign_SK(Delta-t*, c, {S_cj}, N, Pos_V)``.
+
+Everything that is signed has a canonical byte encoding
+(:meth:`SignedTranscript.signed_payload`); the TPA recomputes it and
+verifies the Schnorr signature over exactly those bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.por.file_format import Segment
+from repro.util.serialization import (
+    encode_float,
+    encode_length_prefixed,
+    encode_uint,
+)
+
+
+@dataclass(frozen=True)
+class AuditRequest:
+    """TPA -> verifier: audit parameters for one protocol run."""
+
+    file_id: bytes
+    n_segments: int  # the paper's n~
+    k: int  # rounds to run / segments to check
+    nonce: bytes  # the paper's N
+
+    def __post_init__(self) -> None:
+        if self.n_segments <= 0:
+            raise ConfigurationError(
+                f"n_segments must be positive, got {self.n_segments}"
+            )
+        if not 0 < self.k <= self.n_segments:
+            raise ConfigurationError(
+                f"k must be in 1..{self.n_segments}, got {self.k}"
+            )
+        if len(self.nonce) < 8:
+            raise ConfigurationError(
+                f"nonce must be >= 8 bytes, got {len(self.nonce)}"
+            )
+
+
+@dataclass(frozen=True)
+class TimedRound:
+    """One distance-bounding round: challenge index, response, RTT."""
+
+    index: int
+    segment: Segment
+    rtt_ms: float
+
+    def wire_bytes(self) -> bytes:
+        """Canonical encoding used inside the signed payload."""
+        return (
+            encode_uint(self.index)
+            + self.segment.wire_bytes()
+            + encode_float(self.rtt_ms)
+        )
+
+
+@dataclass(frozen=True)
+class SignedTranscript:
+    """The verifier's signed report R.
+
+    Contains the challenge (implicit in the round indices), all
+    returned segments with embedded tags, all timings, the TPA's nonce
+    and the device's GPS position, plus the Schnorr signature over the
+    canonical encoding of all of it.
+    """
+
+    device_id: bytes
+    file_id: bytes
+    nonce: bytes
+    rounds: tuple[TimedRound, ...]
+    position: GeoPoint
+    signature: tuple[int, int]
+
+    @property
+    def k(self) -> int:
+        """Number of timed rounds in the transcript."""
+        return len(self.rounds)
+
+    @property
+    def max_rtt_ms(self) -> float:
+        """The paper's Delta-t' = max_j Delta-t_j."""
+        if not self.rounds:
+            raise ConfigurationError("transcript has no rounds")
+        return max(round_.rtt_ms for round_ in self.rounds)
+
+    @property
+    def mean_rtt_ms(self) -> float:
+        """Average round time (used by the robustness ablation)."""
+        if not self.rounds:
+            raise ConfigurationError("transcript has no rounds")
+        return sum(round_.rtt_ms for round_ in self.rounds) / len(self.rounds)
+
+    def challenge_indices(self) -> list[int]:
+        """The challenge set c in round order."""
+        return [round_.index for round_ in self.rounds]
+
+    def signed_payload(self) -> bytes:
+        """The canonical bytes the device signs (and the TPA checks).
+
+        Covers device id, file id, nonce, every round (index, segment
+        payload+tag, timing) and the GPS position -- altering any of
+        them invalidates the signature.
+        """
+        parts = [
+            b"geoproof-transcript-v1",
+            encode_length_prefixed(self.device_id),
+            encode_length_prefixed(self.file_id),
+            encode_length_prefixed(self.nonce),
+            encode_uint(len(self.rounds)),
+        ]
+        parts.extend(round_.wire_bytes() for round_ in self.rounds)
+        parts.append(encode_float(self.position.latitude))
+        parts.append(encode_float(self.position.longitude))
+        return b"".join(parts)

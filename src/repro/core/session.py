@@ -1,0 +1,175 @@
+"""End-to-end GeoProof session orchestration.
+
+:class:`GeoProofSession` wires the whole Fig. 4 deployment together for
+the common case -- one data owner, one provider, one verifier device,
+one TPA -- so examples and benchmarks can run audits in a few lines:
+
+    session = GeoProofSession.build(...)
+    session.outsource(b"file-1", data)
+    outcome = session.audit(b"file-1")
+    assert outcome.verdict.accepted
+
+The session owns the shared simulated clock; repeated audits advance
+it monotonically, and the event scheduler can interleave other actors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.provider import CloudProvider, DataCentre
+from repro.cloud.sla import SLAPolicy
+from repro.cloud.tpa import AuditOutcome, ThirdPartyAuditor
+from repro.cloud.verifier import VerifierDevice
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import CircularRegion, Region
+from repro.netsim.clock import SimClock
+from repro.por.parameters import PORParams
+from repro.por.setup import PORKeys, setup_file
+from repro.storage.hdd import HDDSpec, WD_2500JD
+
+
+@dataclass
+class OutsourcedFile:
+    """Client-side record of one outsourced file."""
+
+    file_id: bytes
+    keys: PORKeys
+    n_segments: int
+    original_bytes: int
+    stored_bytes: int
+
+
+class GeoProofSession:
+    """A ready-to-run GeoProof deployment."""
+
+    def __init__(
+        self,
+        provider: CloudProvider,
+        verifier: VerifierDevice,
+        tpa: ThirdPartyAuditor,
+        sla: SLAPolicy,
+        params: PORParams,
+        home_datacentre: str,
+        rng: DeterministicRNG,
+    ) -> None:
+        self.provider = provider
+        self.verifier = verifier
+        self.tpa = tpa
+        self.sla = sla
+        self.params = params
+        self.home_datacentre = home_datacentre
+        self._rng = rng
+        self.files: dict[bytes, OutsourcedFile] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        datacentre_location: GeoPoint,
+        region: Region | None = None,
+        disk: HDDSpec = WD_2500JD,
+        params: PORParams | None = None,
+        lan_rtt_budget_ms: float = 3.0,
+        margin_ms: float = 0.0,
+        min_rounds: int = 50,
+        seed: str = "geoproof-session",
+    ) -> "GeoProofSession":
+        """Build the standard single-site deployment.
+
+        The SLA region defaults to a 100 km circle around the data
+        centre; the segment-size term of the timing budget is taken
+        from ``params``.
+        """
+        params = params or PORParams()
+        rng = DeterministicRNG(seed)
+        clock = SimClock()
+        sla = SLAPolicy(
+            region=region
+            or CircularRegion(centre=datacentre_location, radius_km=100.0),
+            disk=disk,
+            lan_rtt_budget_ms=lan_rtt_budget_ms,
+            margin_ms=margin_ms,
+            segment_bytes=params.segment_bytes + params.tag_bytes,
+            min_rounds=min_rounds,
+        )
+        provider = CloudProvider("provider", rng=rng.fork("provider"))
+        provider.add_datacentre(
+            DataCentre("home", datacentre_location, disk=disk)
+        )
+        verifier = VerifierDevice(
+            b"verifier-1",
+            datacentre_location,
+            clock=clock,
+            rng=rng.fork("verifier"),
+        )
+        tpa = ThirdPartyAuditor("tpa", rng.fork("tpa"))
+        return cls(
+            provider=provider,
+            verifier=verifier,
+            tpa=tpa,
+            sla=sla,
+            params=params,
+            home_datacentre="home",
+            rng=rng,
+        )
+
+    # -- data-owner operations ---------------------------------------------
+
+    def outsource(self, file_id: bytes, data: bytes) -> OutsourcedFile:
+        """Encode a file, upload it, and register it with the TPA."""
+        if file_id in self.files:
+            raise ConfigurationError(f"file {file_id!r} already outsourced")
+        keys = PORKeys.derive(
+            self._rng.fork(f"keys-{file_id.hex()}").random_bytes(32)
+        )
+        encoded = setup_file(data, keys, file_id, self.params)
+        self.provider.upload(encoded, self.home_datacentre)
+        self.tpa.register_file(
+            file_id,
+            encoded.n_segments,
+            keys.mac_key,
+            self.params,
+            self.sla,
+        )
+        record = OutsourcedFile(
+            file_id=file_id,
+            keys=keys,
+            n_segments=encoded.n_segments,
+            original_bytes=len(data),
+            stored_bytes=encoded.stored_bytes,
+        )
+        self.files[file_id] = record
+        return record
+
+    # -- auditing --------------------------------------------------------------
+
+    def audit(
+        self,
+        file_id: bytes,
+        *,
+        k: int | None = None,
+        rtt_max_ms: float | None = None,
+    ) -> AuditOutcome:
+        """Run one GeoProof audit against the current provider policy."""
+        if file_id not in self.files:
+            raise ConfigurationError(f"file {file_id!r} not outsourced")
+        return self.tpa.audit(
+            file_id,
+            self.verifier,
+            self.provider,
+            k=k,
+            rtt_max_ms=rtt_max_ms,
+        )
+
+    def audit_many(
+        self, file_id: bytes, n_audits: int, **kwargs
+    ) -> list[AuditOutcome]:
+        """Run repeated audits (the cumulative-detection experiment)."""
+        if n_audits <= 0:
+            raise ConfigurationError(f"n_audits must be positive, got {n_audits}")
+        return [self.audit(file_id, **kwargs) for _ in range(n_audits)]

@@ -1,0 +1,141 @@
+"""The TPA's verification of a signed transcript (Section V-B).
+
+"The TPA (A) does the verification process which involves the
+following steps:
+
+1. Verify the signature Sign_SK(R).
+2. Verify V's GPS position Pos_V.
+3. Check that tau_cj = MAC_K(S_cj, c_j, fid) for each c_j.
+4. Find the maximum time Delta-t' = max(...) and check that
+   Delta-t' <= Delta-t_max."
+
+:func:`verify_transcript` runs all four and returns a structured
+:class:`GeoProofVerdict` -- callers get every check's outcome, not just
+a boolean, because the failure *mode* is the experimental observable
+(timing failures indicate relays, MAC failures indicate corruption,
+GPS failures indicate device relocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.messages import AuditRequest, SignedTranscript
+from repro.crypto.mac import mac_verify
+from repro.crypto.schnorr import SchnorrPublicKey, schnorr_verify
+from repro.errors import VerificationError
+from repro.geo.regions import Region
+from repro.por.parameters import PORParams
+
+
+@dataclass(frozen=True)
+class GeoProofVerdict:
+    """Outcome of the four-step TPA verification."""
+
+    accepted: bool
+    signature_ok: bool
+    position_ok: bool
+    macs_ok: bool
+    timing_ok: bool
+    challenge_ok: bool
+    max_rtt_ms: float
+    rtt_max_ms: float
+    bad_mac_indices: tuple[int, ...] = field(default=())
+
+    @property
+    def failure_reasons(self) -> list[str]:
+        """Machine-readable tags for every failed check."""
+        reasons = []
+        if not self.signature_ok:
+            reasons.append("signature")
+        if not self.position_ok:
+            reasons.append("gps")
+        if not self.macs_ok:
+            reasons.append("mac")
+        if not self.timing_ok:
+            reasons.append("timing")
+        if not self.challenge_ok:
+            reasons.append("challenge")
+        return reasons
+
+
+def verify_transcript(
+    transcript: SignedTranscript,
+    request: AuditRequest,
+    *,
+    verifier_public_key: SchnorrPublicKey,
+    mac_key: bytes,
+    params: PORParams,
+    region: Region,
+    rtt_max_ms: float,
+) -> GeoProofVerdict:
+    """Run the TPA's four checks plus request-consistency checks.
+
+    Beyond the paper's four steps, the transcript must also be
+    *responsive*: same file id, same nonce (freshness), exactly ``k``
+    rounds over distinct indices in range.  Without those checks a
+    provider could replay an old transcript or answer fewer/different
+    indices than challenged.
+    """
+    # Step 1: signature over the canonical payload.
+    signature_ok = schnorr_verify(
+        verifier_public_key, transcript.signed_payload(), transcript.signature
+    )
+
+    # Step 2: GPS position within the SLA region.
+    position_ok = region.contains(transcript.position)
+
+    # Request consistency / freshness.
+    indices = transcript.challenge_indices()
+    challenge_ok = (
+        transcript.file_id == request.file_id
+        and transcript.nonce == request.nonce
+        and len(indices) == request.k
+        and len(set(indices)) == len(indices)
+        and all(0 <= index < request.n_segments for index in indices)
+    )
+
+    # Step 3: every segment's MAC tag.
+    bad_macs: list[int] = []
+    for round_ in transcript.rounds:
+        segment = round_.segment
+        tag_ok = segment.index == round_.index and mac_verify(
+            mac_key,
+            segment.payload,
+            round_.index,
+            transcript.file_id,
+            segment.tag,
+            tag_bits=params.tag_bits,
+        )
+        if not tag_ok:
+            bad_macs.append(round_.index)
+    macs_ok = not bad_macs
+
+    # Step 4: max round time within the calibrated budget.
+    max_rtt = transcript.max_rtt_ms
+    timing_ok = max_rtt <= rtt_max_ms
+
+    return GeoProofVerdict(
+        accepted=signature_ok
+        and position_ok
+        and macs_ok
+        and timing_ok
+        and challenge_ok,
+        signature_ok=signature_ok,
+        position_ok=position_ok,
+        macs_ok=macs_ok,
+        timing_ok=timing_ok,
+        challenge_ok=challenge_ok,
+        max_rtt_ms=max_rtt,
+        rtt_max_ms=rtt_max_ms,
+        bad_mac_indices=tuple(bad_macs),
+    )
+
+
+def require_accepted(verdict: GeoProofVerdict) -> None:
+    """Raise :class:`VerificationError` naming the failed checks."""
+    if not verdict.accepted:
+        raise VerificationError(
+            f"GeoProof audit rejected: {', '.join(verdict.failure_reasons)}",
+            reason=verdict.failure_reasons[0] if verdict.failure_reasons else "unknown",
+        )

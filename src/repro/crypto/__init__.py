@@ -1,0 +1,56 @@
+"""Cryptographic substrate for the GeoProof reproduction.
+
+The paper assumes standard primitives and names AES explicitly ("the
+block size is 128 bits as it is the size of an AES block").  No external
+crypto packages are available offline, so everything here is built from
+scratch on top of :mod:`hashlib`'s SHA-256:
+
+* :mod:`repro.crypto.aes` -- FIPS-197 AES-128/192/256 and CTR mode.
+* :mod:`repro.crypto.prf` -- HMAC-SHA256 pseudorandom function.
+* :mod:`repro.crypto.kdf` -- HKDF (extract-and-expand) key derivation.
+* :mod:`repro.crypto.mac` -- truncated HMAC tags (the paper uses 20-bit
+  tags on POR segments).
+* :mod:`repro.crypto.prp` -- a Luby-Rackoff Feistel pseudorandom
+  permutation over an arbitrary domain ``[0, n)`` via cycle-walking,
+  used to shuffle file blocks in the POR setup phase.
+* :mod:`repro.crypto.schnorr` -- Schnorr signatures over a Schnorr
+  group; the verifier device signs its protocol transcripts.
+* :mod:`repro.crypto.rng` -- a deterministic HMAC-DRBG used wherever the
+  simulation needs reproducible randomness.
+"""
+
+from repro.crypto.aes import AES, aes_ctr_decrypt, aes_ctr_encrypt
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.mac import mac_tag, mac_verify
+from repro.crypto.prf import prf, prf_int, prf_stream
+from repro.crypto.prp import BlockPermutation, FeistelPRP
+from repro.crypto.rng import DeterministicRNG
+from repro.crypto.schnorr import (
+    SchnorrKeyPair,
+    SchnorrPrivateKey,
+    SchnorrPublicKey,
+    schnorr_sign,
+    schnorr_verify,
+)
+
+__all__ = [
+    "AES",
+    "aes_ctr_encrypt",
+    "aes_ctr_decrypt",
+    "hkdf",
+    "hkdf_extract",
+    "hkdf_expand",
+    "mac_tag",
+    "mac_verify",
+    "prf",
+    "prf_int",
+    "prf_stream",
+    "FeistelPRP",
+    "BlockPermutation",
+    "DeterministicRNG",
+    "SchnorrKeyPair",
+    "SchnorrPrivateKey",
+    "SchnorrPublicKey",
+    "schnorr_sign",
+    "schnorr_verify",
+]

@@ -1,0 +1,72 @@
+"""HKDF (RFC 5869) key derivation.
+
+The Reid et al. distance-bounding protocol requires both parties to
+derive an encryption key from the shared secret and the exchanged
+identities/nonces; GeoProof's setup derives independent sub-keys for
+encryption, permutation and MACing from one master key.  HKDF is the
+standard extract-then-expand construction for both jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import ConfigurationError
+from repro.util.bitops import ceil_div
+
+_HASH_LEN = 32  # SHA-256
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """RFC 5869 extract step: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac.new(salt, input_key_material, hashlib.sha256).digest()
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """RFC 5869 expand step: derive ``length`` bytes bound to ``info``."""
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length}")
+    if length > 255 * _HASH_LEN:
+        raise ConfigurationError(
+            f"HKDF can derive at most {255 * _HASH_LEN} bytes, asked {length}"
+        )
+    blocks = []
+    previous = b""
+    for i in range(1, ceil_div(length, _HASH_LEN) + 1):
+        previous = hmac.new(
+            pseudo_random_key,
+            previous + info + bytes([i]),
+            hashlib.sha256,
+        ).digest()
+        blocks.append(previous)
+    return b"".join(blocks)[:length]
+
+
+def hkdf(
+    input_key_material: bytes,
+    *,
+    salt: bytes = b"",
+    info: bytes = b"",
+    length: int = 32,
+) -> bytes:
+    """One-shot HKDF: extract then expand."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
+
+
+def derive_subkeys(master_key: bytes, labels: list[str], length: int = 32) -> dict[str, bytes]:
+    """Derive one independent subkey per label from a master key.
+
+    GeoProof's setup phase needs distinct keys for the cipher, the PRP
+    and the MAC; deriving them from one master key keeps client-side
+    key storage constant-size.
+    """
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(f"duplicate subkey labels: {labels}")
+    prk = hkdf_extract(b"repro-subkeys", master_key)
+    return {
+        label: hkdf_expand(prk, label.encode("utf-8"), length)
+        for label in labels
+    }

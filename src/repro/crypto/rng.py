@@ -1,0 +1,160 @@
+"""Deterministic random number generation (HMAC-DRBG style).
+
+Simulations must be reproducible: the same seed must produce the same
+file contents, challenge indices, network jitter and adversary
+behaviour.  :class:`DeterministicRNG` is a small HMAC-DRBG built on the
+library PRF, exposing the handful of sampling primitives the rest of
+the code needs.  It intentionally mirrors a subset of
+:class:`random.Random`'s API so call sites read naturally.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.prf import prf
+from repro.errors import ConfigurationError
+
+
+class DeterministicRNG:
+    """A seeded, forkable deterministic RNG.
+
+    Parameters
+    ----------
+    seed:
+        Bytes, string or int; hashed into the initial state.
+
+    ``fork(label)`` derives an independent child stream, which lets each
+    simulated component own its own RNG without cross-contamination
+    (adding a component never perturbs another component's draws).
+    """
+
+    def __init__(self, seed: bytes | str | int) -> None:
+        if isinstance(seed, int):
+            seed = seed.to_bytes((max(seed.bit_length(), 1) + 7) // 8, "big", signed=False)
+        elif isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        elif not isinstance(seed, bytes):
+            raise ConfigurationError(
+                f"seed must be bytes/str/int, got {type(seed).__name__}"
+            )
+        self._key = prf(b"drbg-init", b"seed", seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def fork(self, label: str) -> "DeterministicRNG":
+        """Derive an independent child RNG bound to ``label``."""
+        child = object.__new__(DeterministicRNG)
+        child._key = prf(self._key, b"drbg-fork", label.encode("utf-8"))
+        child._counter = 0
+        child._buffer = b""
+        return child
+
+    # -- raw output -----------------------------------------------------
+
+    def random_bytes(self, n: int) -> bytes:
+        """Return ``n`` pseudorandom bytes."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        while len(self._buffer) < n:
+            block = prf(self._key, b"drbg-gen", self._counter.to_bytes(8, "big"))
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def randbits(self, bits: int) -> int:
+        """Return an integer with ``bits`` uniform random bits."""
+        if bits <= 0:
+            raise ConfigurationError(f"bits must be positive, got {bits}")
+        n_bytes = (bits + 7) // 8
+        value = int.from_bytes(self.random_bytes(n_bytes), "big")
+        return value >> (8 * n_bytes - bits)
+
+    # -- integer sampling ------------------------------------------------
+
+    def randrange(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)`` (rejection sampling)."""
+        if upper <= 0:
+            raise ConfigurationError(f"upper must be positive, got {upper}")
+        if upper == 1:
+            return 0
+        bits = upper.bit_length()
+        while True:
+            candidate = self.randbits(bits)
+            if candidate < upper:
+                return candidate
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        if high < low:
+            raise ConfigurationError(f"empty range [{low}, {high}]")
+        return low + self.randrange(high - low + 1)
+
+    def sample_indices(self, population: int, k: int) -> list[int]:
+        """Sample ``k`` distinct indices from ``[0, population)``.
+
+        This is how challenges are drawn: "a random set of indexes
+        c = {c1, ..., ck} subset of {1, ..., n}".  Uses a partial
+        Fisher-Yates over a sparse dict, so it is O(k) in space even
+        for huge populations.
+        """
+        if not 0 <= k <= population:
+            raise ConfigurationError(
+                f"cannot sample {k} from population {population}"
+            )
+        swapped: dict[int, int] = {}
+        out: list[int] = []
+        for i in range(k):
+            j = i + self.randrange(population - i)
+            out.append(swapped.get(j, j))
+            swapped[j] = swapped.get(i, i)
+        return out
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def choice(self, items: list):
+        """Uniformly choose one element of a non-empty sequence."""
+        if not items:
+            raise ConfigurationError("cannot choose from an empty sequence")
+        return items[self.randrange(len(items))]
+
+    # -- continuous sampling ----------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in ``[low, high)``."""
+        if high < low:
+            raise ConfigurationError(f"empty range [{low}, {high})")
+        return low + (high - low) * (self.randbits(53) / (1 << 53))
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential variate with the given rate (mean ``1/rate``).
+
+        Network queueing delays and Poisson arrivals use this.
+        """
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        u = self.uniform(0.0, 1.0)
+        # u == 0 would give log(0); nudge into (0, 1].
+        return -math.log(1.0 - u) / rate
+
+    def gauss(self, mean: float, stddev: float) -> float:
+        """Normal variate via Box-Muller (one draw per call)."""
+        if stddev < 0:
+            raise ConfigurationError(f"stddev must be >= 0, got {stddev}")
+        u1 = self.uniform(0.0, 1.0)
+        u2 = self.uniform(0.0, 1.0)
+        radius = math.sqrt(-2.0 * math.log(1.0 - u1))
+        return mean + stddev * radius * math.cos(2.0 * math.pi * u2)
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        return self.uniform(0.0, 1.0) < probability

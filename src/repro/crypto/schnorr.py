@@ -1,0 +1,237 @@
+"""Schnorr signatures over a Schnorr group.
+
+The GeoProof verifier device "has a private key which it uses to sign
+the transcript of the distance bounding protocol" before sending it to
+the TPA.  The paper does not fix a signature scheme; we implement
+Schnorr signatures over a Schnorr group (prime-order subgroup of
+``Z_p^*``), which is EUF-CMA secure under discrete log in the random
+oracle model and implementable with integer arithmetic alone.
+
+The default parameters are a 2048-bit MODP prime with a 256-bit
+subgroup, generated once and embedded below (RFC 3526 group 14 prime
+with a derived subgroup generator is *not* used because its subgroup
+order is not prime; instead we embed a classic DSA-style (p, q, g)
+triple).  A small insecure parameter set is provided for fast tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SignatureError
+
+# ---------------------------------------------------------------------------
+# Group parameters.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A Schnorr group: prime modulus p, prime subgroup order q, generator g.
+
+    ``g`` generates the order-``q`` subgroup of ``Z_p^*``; valid
+    parameters satisfy ``q | p - 1`` and ``g^q = 1 (mod p)``.
+    """
+
+    p: int
+    q: int
+    g: int
+
+    def validate(self) -> None:
+        """Check the structural relations (not primality, which is assumed)."""
+        if (self.p - 1) % self.q != 0:
+            raise ConfigurationError("q must divide p - 1")
+        if pow(self.g, self.q, self.p) != 1:
+            raise ConfigurationError("g must have order q")
+        if self.g in (0, 1) or not 1 < self.g < self.p:
+            raise ConfigurationError("g out of range")
+
+
+def _generate_group(p_bits: int, q_bits: int, seed: int) -> SchnorrGroup:
+    """Deterministically generate a (p, q, g) triple (DSA-style).
+
+    Not FIPS 186 verifiable generation -- just a reproducible search for
+    a prime q, then a prime p = q*m + 1, then g = h^((p-1)/q).
+    """
+
+    def is_probable_prime(n: int, rounds: int = 40) -> bool:
+        if n < 2:
+            return False
+        for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+            if n % small == 0:
+                return n == small
+        d, r = n - 1, 0
+        while d % 2 == 0:
+            d //= 2
+            r += 1
+        rng = _DetRand(seed ^ n)
+        for _ in range(rounds):
+            a = rng.randrange(2, n - 1)
+            x = pow(a, d, n)
+            if x in (1, n - 1):
+                continue
+            for _ in range(r - 1):
+                x = pow(x, 2, n)
+                if x == n - 1:
+                    break
+            else:
+                return False
+        return True
+
+    class _DetRand:
+        def __init__(self, s: int) -> None:
+            n_bytes = max(1, (s.bit_length() + 7) // 8)
+            self._state = hashlib.sha256(s.to_bytes(n_bytes, "big")).digest()
+
+        def randrange(self, low: int, high: int) -> int:
+            span = high - low
+            self._state = hashlib.sha256(self._state).digest()
+            return low + int.from_bytes(self._state, "big") % span
+
+        def randbits(self, bits: int) -> int:
+            out = 0
+            while out.bit_length() < bits:
+                self._state = hashlib.sha256(self._state).digest()
+                out = (out << 256) | int.from_bytes(self._state, "big")
+            return out >> (out.bit_length() - bits) | (1 << (bits - 1))
+
+    rng = _DetRand(seed)
+    q = rng.randbits(q_bits) | 1
+    while not is_probable_prime(q):
+        q += 2
+    # Search p = q * m + 1 with the right size.
+    m = (1 << (p_bits - 1)) // q
+    while True:
+        p = q * m + 1
+        if p.bit_length() == p_bits and is_probable_prime(p):
+            break
+        m += 1
+    h = 2
+    while True:
+        g = pow(h, (p - 1) // q, p)
+        if g > 1:
+            break
+        h += 1
+    group = SchnorrGroup(p=p, q=q, g=g)
+    group.validate()
+    return group
+
+
+# A small (insecure!) group for unit tests -- fast key generation and
+# signing.  Generated deterministically so tests are reproducible.
+TEST_GROUP = _generate_group(p_bits=512, q_bits=160, seed=0x47656F)
+
+# Default group for examples/benchmarks: moderate size keeps pure-Python
+# modexp affordable while being structurally identical to production
+# parameters.
+DEFAULT_GROUP = _generate_group(p_bits=1024, q_bits=256, seed=0x47656F50726F6F66)
+
+
+# ---------------------------------------------------------------------------
+# Keys and signatures.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchnorrPublicKey:
+    """Public key ``y = g^x mod p`` with its group."""
+
+    group: SchnorrGroup
+    y: int
+
+
+@dataclass(frozen=True)
+class SchnorrPrivateKey:
+    """Private exponent ``x`` in ``[1, q)`` with its group."""
+
+    group: SchnorrGroup
+    x: int
+
+    def public_key(self) -> SchnorrPublicKey:
+        """Derive the matching public key."""
+        return SchnorrPublicKey(self.group, pow(self.group.g, self.x, self.group.p))
+
+
+@dataclass(frozen=True)
+class SchnorrKeyPair:
+    """A private/public key pair."""
+
+    private: SchnorrPrivateKey
+    public: SchnorrPublicKey
+
+    @classmethod
+    def generate(
+        cls,
+        group: SchnorrGroup = DEFAULT_GROUP,
+        *,
+        seed: bytes | None = None,
+    ) -> "SchnorrKeyPair":
+        """Generate a key pair.
+
+        With ``seed`` the private key is derived deterministically
+        (useful for reproducible simulations); otherwise it uses the
+        OS CSPRNG.
+        """
+        if seed is not None:
+            digest = hashlib.sha256(b"schnorr-keygen" + seed).digest()
+            x = 1 + int.from_bytes(digest, "big") % (group.q - 1)
+        else:
+            x = 1 + secrets.randbelow(group.q - 1)
+        private = SchnorrPrivateKey(group, x)
+        return cls(private=private, public=private.public_key())
+
+
+def _challenge_hash(group: SchnorrGroup, commitment: int, message: bytes) -> int:
+    digest = hashlib.sha256(
+        b"schnorr-sign"
+        + group.p.to_bytes((group.p.bit_length() + 7) // 8, "big")
+        + commitment.to_bytes((group.p.bit_length() + 7) // 8, "big")
+        + message
+    ).digest()
+    return int.from_bytes(digest, "big") % group.q
+
+
+def schnorr_sign(private: SchnorrPrivateKey, message: bytes) -> tuple[int, int]:
+    """Sign ``message``; returns the pair ``(e, s)``.
+
+    Uses deterministic nonces (RFC 6979 style: the nonce is a hash of
+    the key and message) so repeated signing never reuses a nonce.
+    """
+    group = private.group
+    nonce_digest = hashlib.sha256(
+        b"schnorr-nonce"
+        + private.x.to_bytes((group.q.bit_length() + 7) // 8, "big")
+        + message
+    ).digest()
+    k = 1 + int.from_bytes(nonce_digest, "big") % (group.q - 1)
+    commitment = pow(group.g, k, group.p)
+    e = _challenge_hash(group, commitment, message)
+    s = (k + private.x * e) % group.q
+    return e, s
+
+
+def schnorr_verify(
+    public: SchnorrPublicKey, message: bytes, signature: tuple[int, int]
+) -> bool:
+    """Verify a Schnorr signature; returns True/False (never raises)."""
+    try:
+        e, s = signature
+    except (TypeError, ValueError):
+        return False
+    group = public.group
+    if not (0 <= e < group.q and 0 <= s < group.q):
+        return False
+    # r' = g^s * y^(-e) = g^(k + xe) * g^(-xe) = g^k
+    y_inv_e = pow(public.y, group.q - e, group.p)  # y^(-e) via Fermat in subgroup
+    commitment = pow(group.g, s, group.p) * y_inv_e % group.p
+    return _challenge_hash(group, commitment, message) == e
+
+
+def require_valid_signature(
+    public: SchnorrPublicKey, message: bytes, signature: tuple[int, int]
+) -> None:
+    """Raise :class:`SignatureError` unless the signature verifies."""
+    if not schnorr_verify(public, message, signature):
+        raise SignatureError("Schnorr signature verification failed")

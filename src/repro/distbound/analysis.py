@@ -1,0 +1,65 @@
+"""Closed-form security bounds for distance-bounding protocols.
+
+The benchmark harness checks the empirical attack success rates against
+these formulas:
+
+* Hancke-Kuhn (and Reid against mafia fraud): per-round adversary
+  success 3/4 -> false acceptance ``(3/4)^n``;
+* Brands-Chaum: per-round success 1/2 -> ``(1/2)^n``;
+* rounds needed for a target security level.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def hancke_kuhn_false_accept(n_rounds: int) -> float:
+    """``(3/4)^n``: optimal pre-ask adversary against Hancke-Kuhn."""
+    if n_rounds < 0:
+        raise ConfigurationError(f"n_rounds must be >= 0, got {n_rounds}")
+    return 0.75**n_rounds
+
+
+def brands_chaum_false_accept(n_rounds: int) -> float:
+    """``(1/2)^n``: guessing adversary against Brands-Chaum."""
+    if n_rounds < 0:
+        raise ConfigurationError(f"n_rounds must be >= 0, got {n_rounds}")
+    return 0.5**n_rounds
+
+
+def rounds_for_security(
+    target_false_accept: float, per_round_success: float = 0.75
+) -> int:
+    """Minimum rounds so the adversary's acceptance <= target.
+
+    E.g. ``rounds_for_security(2**-32)`` -> 78 rounds of Hancke-Kuhn or
+    32 rounds of Brands-Chaum (``per_round_success=0.5``).
+    """
+    if not 0.0 < target_false_accept < 1.0:
+        raise ConfigurationError(
+            f"target must be in (0, 1), got {target_false_accept}"
+        )
+    if not 0.0 < per_round_success < 1.0:
+        raise ConfigurationError(
+            f"per_round_success must be in (0, 1), got {per_round_success}"
+        )
+    return math.ceil(math.log(target_false_accept) / math.log(per_round_success))
+
+
+def timing_margin_distance_km(
+    rtt_max_ms: float, true_rtt_ms: float, propagation_speed_km_per_ms: float
+) -> float:
+    """Extra distance an attacker can hide inside the timing slack.
+
+    ``(rtt_max - true_rtt) / 2 * speed`` -- the fundamental trade-off
+    when choosing Delta-t_max: every millisecond of slack is 150 km of
+    undetectable relay distance at light speed (or ~67 km at Internet
+    speed).
+    """
+    if rtt_max_ms < 0 or true_rtt_ms < 0:
+        raise ConfigurationError("RTTs must be >= 0")
+    slack = max(0.0, rtt_max_ms - true_rtt_ms)
+    return slack * propagation_speed_km_per_ms / 2.0

@@ -1,0 +1,224 @@
+"""Attack simulators for distance-bounding protocols.
+
+The three classic adversaries (Section III-A):
+
+* **Distance fraud** -- a *dishonest prover* farther away than claimed
+  tries to answer early/instantly to mask its distance.  With
+  per-round challenges it cannot know the challenge before it arrives,
+  so guessing costs correctness.
+* **Mafia fraud** -- a man-in-the-middle relays between an honest
+  far-away prover and the verifier; the relay adds flight time, so it
+  must either exceed the time bound or guess bits.
+* **Terrorist attack** -- the dishonest prover *cooperates* with a
+  nearby accomplice, handing over session material but not the
+  long-term secret.  Hancke-Kuhn falls to this (registers reveal
+  nothing about ``s``); Reid et al. resists (registers jointly reveal
+  ``s``).
+
+Each simulator implements the same duck-typed prover API the honest
+provers implement, so verifiers run them unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rng import DeterministicRNG
+from repro.distbound.hancke_kuhn import derive_registers
+from repro.distbound.reid import derive_session_registers
+from repro.errors import ConfigurationError
+from repro.util.bitops import bit_at, xor_bytes
+
+
+class DistanceFraudProver:
+    """A far-away prover that *knows the secret* but not the challenges.
+
+    Models pure distance fraud for Hancke-Kuhn-style register
+    protocols: to beat the clock the prover must transmit its response
+    before the challenge arrives, i.e. commit to a bit per round
+    without seeing ``alpha_i``.  Its best strategy is to answer with
+    the register bit when both registers agree (probability 1/2 per
+    round for random registers) and guess otherwise -- per-round
+    success 3/4.
+
+    The channel still charges the *true* distance; ``early_reply``
+    controls whether the simulator also cheats time (replying with
+    zero processing at the moment the challenge would have arrived
+    cannot beat propagation in our model, which is exactly the physics
+    the protocol relies on).
+    """
+
+    def __init__(
+        self, identity: bytes, shared_secret: bytes, rng: DeterministicRNG
+    ) -> None:
+        self.identity = identity
+        self._secret = shared_secret
+        self._rng = rng
+        self._left: bytes | None = None
+        self._right: bytes | None = None
+        self._round = 0
+
+    def begin_session(
+        self, verifier_nonce: bytes, prover_nonce: bytes, n_rounds: int
+    ) -> None:
+        self._left, self._right = derive_registers(
+            self._secret, verifier_nonce, prover_nonce, n_rounds
+        )
+        self._round = 0
+
+    def respond(self, challenge_bit: int) -> tuple[int, float]:
+        """Answer committed *before* seeing the challenge.
+
+        The committed bit is the register bit when the registers agree,
+        otherwise a coin flip; the actual ``challenge_bit`` argument is
+        deliberately ignored.
+        """
+        if self._left is None or self._right is None:
+            raise ConfigurationError("begin_session() must run first")
+        left_bit = bit_at(self._left, self._round)
+        right_bit = bit_at(self._right, self._round)
+        committed = left_bit if left_bit == right_bit else self._rng.randbits(1)
+        self._round += 1
+        return committed, 0.0
+
+
+class MafiaFraudRelay:
+    """A man-in-the-middle without the secret.
+
+    Strategy (the optimal pre-ask attack against Hancke-Kuhn): before
+    the timed phase the relay runs the init with the verifier, then
+    *pre-asks* the honest prover with guessed challenges, learning one
+    register bit per round.  During the timed phase it answers
+    instantly from what it learned: if the verifier's challenge matches
+    the guess the answer is right; otherwise it flips a coin.
+    Per-round success 3/4 -> acceptance ``(3/4)^n``.
+
+    The relay sits ``relay_distance_km`` from the verifier (typically
+    near zero -- that is the point of the attack), so timing passes and
+    only bit errors can catch it.
+    """
+
+    def __init__(self, identity: bytes, rng: DeterministicRNG) -> None:
+        self.identity = identity
+        self._rng = rng
+        self._guesses: list[int] = []
+        self._learned: list[int] = []
+        self._round = 0
+
+    def begin_session(
+        self, verifier_nonce: bytes, prover_nonce: bytes, n_rounds: int
+    ) -> None:
+        """Init with the verifier; pre-ask phase against the real prover
+        is modelled by drawing the guessed challenges now."""
+        self._guesses = [self._rng.randbits(1) for _ in range(n_rounds)]
+        # What the honest prover would have answered to each guess --
+        # the relay genuinely learns these bits, but only for its
+        # guessed challenge, not the other register.
+        self._learned = []
+        self._round = 0
+        self._n_rounds = n_rounds
+        self._nonces = (verifier_nonce, prover_nonce)
+
+    def learn_from_prover(self, honest_prover) -> None:
+        """Run the pre-ask phase against the honest (remote) prover."""
+        verifier_nonce, prover_nonce = self._nonces
+        honest_prover.begin_session(verifier_nonce, prover_nonce, self._n_rounds)
+        self._learned = [
+            honest_prover.respond(guess)[0] for guess in self._guesses
+        ]
+
+    def respond(self, challenge_bit: int) -> tuple[int, float]:
+        """Instant answer from pre-asked bits (coin flip on bad guess)."""
+        if len(self._learned) != len(self._guesses):
+            raise ConfigurationError("learn_from_prover() must run first")
+        if self._guesses[self._round] == challenge_bit:
+            bit = self._learned[self._round]
+        else:
+            bit = self._rng.randbits(1)
+        self._round += 1
+        return bit, 0.0
+
+
+class TerroristAccomplice:
+    """A nearby accomplice helped by a dishonest far-away prover.
+
+    ``leak_registers`` models what the dishonest prover is willing to
+    hand over:
+
+    * For **Hancke-Kuhn** the session registers ``(l, r)`` reveal
+      nothing about the long-term secret, so a rational cheating prover
+      leaks them and the accomplice passes every round -- the attack
+      the paper says Hancke-Kuhn "does not consider".
+    * For **Reid et al.** the registers are ``(c, k)`` with
+      ``c = s XOR PRF(k)``: leaking both is equivalent to leaking
+      ``s``.  :meth:`reconstruct_secret_bits` demonstrates the
+      extraction, which is why a rational prover refuses and the
+      protocol resists the attack.
+    """
+
+    def __init__(self, identity: bytes) -> None:
+        self.identity = identity
+        self._registers: tuple[bytes, bytes] | None = None
+        self._round = 0
+
+    # -- what the dishonest prover sends over its back channel ----------
+
+    def receive_leak(self, register_0: bytes, register_1: bytes) -> None:
+        """Take the leaked per-session registers."""
+        self._registers = (register_0, register_1)
+        self._round = 0
+
+    # -- prover API toward the verifier -----------------------------------
+
+    def begin_session(self, *args, **kwargs) -> None:
+        """Init is a pass-through; the leak supplies the registers."""
+        self._round = 0
+
+    def respond(self, challenge_bit: int) -> tuple[int, float]:
+        if self._registers is None:
+            raise ConfigurationError("receive_leak() must run first")
+        register = self._registers[challenge_bit]
+        bit = bit_at(register, self._round)
+        self._round += 1
+        return bit, 0.0
+
+    # -- the extraction that deters the Reid et al. leak --------------------
+
+    @staticmethod
+    def reconstruct_secret_bits(
+        cipher_register: bytes, key_register: bytes
+    ) -> bytes:
+        """Recover the expanded long-term secret from Reid's registers.
+
+        ``c = s_bits XOR PRF(k)`` so ``s_bits = c XOR PRF(k)``.  Having
+        both registers therefore surrenders the credential -- the
+        structural argument for terrorist-attack resistance.
+        """
+        from repro.crypto.prf import prf_stream
+
+        pad = prf_stream(key_register, b"reid-encrypt", b"", len(cipher_register))
+        return xor_bytes(cipher_register, pad)
+
+
+def leak_hancke_kuhn_registers(
+    shared_secret: bytes, verifier_nonce: bytes, prover_nonce: bytes, n_rounds: int
+) -> tuple[bytes, bytes]:
+    """What a terrorist Hancke-Kuhn prover sends its accomplice."""
+    return derive_registers(shared_secret, verifier_nonce, prover_nonce, n_rounds)
+
+
+def leak_reid_registers(
+    shared_secret: bytes,
+    verifier_id: bytes,
+    prover_id: bytes,
+    verifier_nonce: bytes,
+    prover_nonce: bytes,
+    n_rounds: int,
+) -> tuple[bytes, bytes]:
+    """What a terrorist Reid prover would have to send (== its secret).
+
+    Returned in (register_for_challenge_0, register_for_challenge_1)
+    order, i.e. ``(c, k)``.
+    """
+    key_register, cipher_register = derive_session_registers(
+        shared_secret, verifier_id, prover_id, verifier_nonce, prover_nonce, n_rounds
+    )
+    return cipher_register, key_register

@@ -1,0 +1,18 @@
+"""Erasure-coding substrate: Reed-Solomon codes and file striping.
+
+Step 2 of the Juels-Kaliski/GeoProof setup applies a (255, 223, 32)
+Reed-Solomon code to each 223-block chunk of the file, expanding it by
+255/223 - 1 ~= 14.3 % and letting the client recover from up to 16
+corrupted blocks (or 32 erased blocks) per chunk.
+
+* :mod:`repro.erasure.reed_solomon` -- systematic RS encoder plus a
+  Berlekamp-Massey decoder handling both errors and erasures.
+* :mod:`repro.erasure.striping` -- maps 128-bit file blocks onto
+  byte-interleaved RS codewords and back (the GF(2^128)-symbol code of
+  the paper realised as 16 interleaved GF(2^8) codewords).
+"""
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.erasure.striping import BlockStriper, StripeLayout
+
+__all__ = ["ReedSolomon", "BlockStriper", "StripeLayout"]

@@ -1,0 +1,256 @@
+"""Systematic Reed-Solomon codes over GF(2^8).
+
+An RS(n, k) code here uses the narrow-sense generator
+``g(x) = (x - alpha^1)(x - alpha^2)...(x - alpha^(n-k))`` and systematic
+encoding: the codeword is ``message || parity`` where
+``parity = (message(x) * x^(n-k)) mod g(x)``.
+
+Decoding implements the classical chain:
+
+1. syndromes ``S_i = c(alpha^i)``,
+2. Berlekamp-Massey (with erasure initialisation) for the error-locator
+   polynomial,
+3. Chien search for error positions,
+4. Forney's formula for error magnitudes.
+
+The decoder corrects any combination of ``e`` errors and ``f`` erasures
+with ``2e + f <= n - k``, and raises
+:class:`repro.errors.UncorrectableError` beyond that (detected via
+inconsistent syndromes after correction).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.gf.gf256 import EXP_TABLE, LOG_TABLE, mul_fast
+from repro.gf.poly import Poly
+
+
+class ReedSolomon:
+    """An RS(n, k) encoder/decoder over GF(2^8).
+
+    Parameters
+    ----------
+    n:
+        Codeword length in symbols, at most 255.
+    k:
+        Message length in symbols, ``0 < k < n``.
+
+    The GeoProof configuration is ``ReedSolomon(255, 223)`` (16-symbol
+    correction radius), but any valid (n, k) works, and the test suite
+    exercises several.
+    """
+
+    def __init__(self, n: int = 255, k: int = 223) -> None:
+        if not 0 < k < n <= 255:
+            raise ConfigurationError(
+                f"RS parameters need 0 < k < n <= 255, got n={n} k={k}"
+            )
+        self.n = n
+        self.k = k
+        self.n_parity = n - k
+        self._generator = self._build_generator(self.n_parity)
+
+    @staticmethod
+    def _build_generator(n_parity: int) -> Poly:
+        g = Poly.one()
+        for i in range(1, n_parity + 1):
+            g = g * Poly([EXP_TABLE[i], 1])  # (x + alpha^i)
+        return g
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, message: bytes) -> bytes:
+        """Encode ``k`` message bytes into an ``n``-byte codeword.
+
+        Systematic: the first ``k`` bytes of the output are the message.
+        """
+        if len(message) != self.k:
+            raise ConfigurationError(
+                f"message must be {self.k} bytes, got {len(message)}"
+            )
+        # parity = (message(x) * x^(n-k)) mod g(x), with message stored
+        # highest-degree-first in the codeword (conventional layout).
+        shifted = Poly(list(reversed(message))).shift(self.n_parity)
+        parity = shifted % self._generator
+        parity_coeffs = list(parity.coeffs) + [0] * (
+            self.n_parity - len(parity.coeffs)
+        )
+        return message + bytes(reversed(parity_coeffs))
+
+    # -- decoding ---------------------------------------------------------
+
+    def _syndromes(self, codeword: bytes) -> list[int]:
+        # Codeword byte j is the coefficient of x^(n-1-j).
+        poly = Poly(list(reversed(codeword)))
+        return [poly.eval(EXP_TABLE[i]) for i in range(1, self.n_parity + 1)]
+
+    def decode(
+        self,
+        codeword: bytes,
+        erasures: list[int] | None = None,
+    ) -> bytes:
+        """Decode an ``n``-byte word back to ``k`` message bytes.
+
+        ``erasures`` lists byte positions known to be unreliable; the
+        decoder then corrects up to ``(n - k - len(erasures)) // 2``
+        additional unknown errors.
+
+        Raises
+        ------
+        UncorrectableError
+            If the word is beyond the code's correction radius.
+        """
+        if len(codeword) != self.n:
+            raise ConfigurationError(
+                f"codeword must be {self.n} bytes, got {len(codeword)}"
+            )
+        erasures = sorted(set(erasures or []))
+        for pos in erasures:
+            if not 0 <= pos < self.n:
+                raise ConfigurationError(f"erasure position {pos} out of range")
+        if len(erasures) > self.n_parity:
+            raise UncorrectableError(
+                f"{len(erasures)} erasures exceed parity budget {self.n_parity}"
+            )
+
+        syndromes = self._syndromes(codeword)
+        if not any(syndromes) and not erasures:
+            return bytes(codeword[: self.k])
+
+        # Locator exponent for byte position j (coefficient of x^(n-1-j)).
+        def locator_exp(position: int) -> int:
+            return self.n - 1 - position
+
+        erasure_locator = Poly.one()
+        for pos in erasures:
+            erasure_locator = erasure_locator * Poly(
+                [1, EXP_TABLE[locator_exp(pos)]]
+            )  # (1 + X_j x)
+
+        # Forney syndromes: fold erasure knowledge into the syndromes,
+        # then solve for the unknown-error locator alone.
+        forney_syndromes = self._forney_syndromes(syndromes, erasures)
+        max_errors = (self.n_parity - len(erasures)) // 2
+        error_locator = self._berlekamp_massey(forney_syndromes, max_errors)
+        locator = error_locator * erasure_locator
+        positions = self._chien_search(locator)
+        if len(positions) != locator.degree:
+            raise UncorrectableError(
+                "error locator degree does not match root count "
+                f"({locator.degree} vs {len(positions)})"
+            )
+
+        corrected = bytearray(codeword)
+        for pos, magnitude in self._forney(syndromes, locator, positions):
+            corrected[pos] ^= magnitude
+
+        if any(self._syndromes(bytes(corrected))):
+            raise UncorrectableError("residual syndromes after correction")
+        return bytes(corrected[: self.k])
+
+    def correct(
+        self, codeword: bytes, erasures: list[int] | None = None
+    ) -> bytes:
+        """Like :meth:`decode` but returns the full corrected codeword."""
+        message = self.decode(codeword, erasures)
+        return self.encode(message)
+
+    # -- decoder internals ---------------------------------------------------
+
+    def _forney_syndromes(
+        self, syndromes: list[int], erasure_positions: list[int]
+    ) -> list[int]:
+        """Modified (Forney) syndromes with the erasure terms folded out.
+
+        Each syndrome is a power sum ``S_j = sum_k Y_k X_k^(j+1)`` over
+        the corrupted positions.  For a known erasure locator value
+        ``X_l`` the map ``t_j = X_l * s_j + s_(j+1)`` annihilates that
+        position's contribution (its factor becomes ``X_l + X_l = 0``),
+        so folding once per erasure and dropping the now-undefined top
+        entry leaves a length ``n_parity - f`` sequence containing only
+        the *unknown* error terms -- plain Berlekamp-Massey then finds
+        the error locator alone.
+        """
+        folded = list(syndromes)
+        for pos in erasure_positions:
+            x_l = EXP_TABLE[(self.n - 1 - pos) % 255]
+            for j in range(len(folded) - 1):
+                folded[j] = mul_fast(folded[j], x_l) ^ folded[j + 1]
+            folded.pop()
+        return folded
+
+    def _berlekamp_massey(self, syndromes: list[int], max_errors: int) -> Poly:
+        """Textbook Berlekamp-Massey: minimal LFSR for the syndrome sequence.
+
+        Returns the error-locator polynomial ``Lambda(x)`` with
+        ``Lambda(0) = 1`` and degree at most ``max_errors`` (a larger
+        degree means the word is uncorrectable).
+        """
+        locator = [1]  # Lambda(x)
+        previous = [1]  # B(x)
+        lfsr_length = 0
+        shift = 1  # m: x^m multiplier pending on B
+        prev_discrepancy = 1  # b
+        for step in range(len(syndromes)):
+            delta = syndromes[step]
+            for i in range(1, lfsr_length + 1):
+                if i < len(locator) and locator[i]:
+                    delta ^= mul_fast(locator[i], syndromes[step - i])
+            if delta == 0:
+                shift += 1
+                continue
+            scale = mul_fast(delta, EXP_TABLE[255 - LOG_TABLE[prev_discrepancy]])
+            adjustment = [0] * shift + [mul_fast(scale, c) for c in previous]
+            updated = list(locator) + [0] * max(0, len(adjustment) - len(locator))
+            for i, c in enumerate(adjustment):
+                updated[i] ^= c
+            if 2 * lfsr_length <= step:
+                previous = locator
+                prev_discrepancy = delta
+                lfsr_length = step + 1 - lfsr_length
+                shift = 1
+            else:
+                shift += 1
+            locator = updated
+        result = Poly(locator)
+        if result.degree > max_errors:
+            raise UncorrectableError(
+                f"error locator degree {result.degree} exceeds budget {max_errors}"
+            )
+        return result
+
+    def _chien_search(self, locator: Poly) -> list[int]:
+        """Find byte positions whose locators are roots of ``Lambda``.
+
+        Position j has locator ``X_j = alpha^(n-1-j)``; j is an error
+        position iff ``Lambda(X_j^{-1}) = 0``.
+        """
+        positions = []
+        for j in range(self.n):
+            x_inv = EXP_TABLE[(255 - (self.n - 1 - j)) % 255]
+            if locator.eval(x_inv) == 0:
+                positions.append(j)
+        return positions
+
+    def _forney(
+        self, syndromes: list[int], locator: Poly, positions: list[int]
+    ) -> list[tuple[int, int]]:
+        """Forney's formula: magnitudes for each located position."""
+        syndrome_poly = Poly(syndromes)
+        omega = (syndrome_poly * locator) % Poly.monomial(self.n_parity)
+        locator_prime = locator.derivative()
+        out: list[tuple[int, int]] = []
+        for j in positions:
+            x_inv = EXP_TABLE[(255 - (self.n - 1 - j)) % 255]
+            denominator = locator_prime.eval(x_inv)
+            if denominator == 0:
+                raise UncorrectableError("Forney denominator vanished")
+            # With first consecutive root alpha^1 the magnitude is
+            # Y_j = Omega(X_j^-1) / Lambda'(X_j^-1)  (no X_j factor).
+            numerator = omega.eval(x_inv)
+            magnitude = mul_fast(
+                numerator, EXP_TABLE[255 - LOG_TABLE[denominator]]
+            ) if numerator else 0
+            out.append((j, magnitude))
+        return out

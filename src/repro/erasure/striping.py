@@ -1,0 +1,196 @@
+"""Striping 128-bit file blocks across interleaved RS codewords.
+
+The paper (following Juels-Kaliski) describes a (255, 223, 32) code
+"over GF(2^128)": each 128-bit file block is one code symbol, 223
+message blocks expand to a 255-block chunk.  Symbol arithmetic over
+GF(2^128) is needlessly slow in pure Python, so we realise the *same*
+block-level code with the standard interleaving construction:
+
+* take a chunk of ``k = 223`` file blocks of 16 bytes each;
+* view it as a 223 x 16 byte matrix (one row per block);
+* encode each of the 16 *columns* with RS(255, 223) over GF(2^8);
+* the resulting 255 x 16 matrix is the encoded chunk -- rows 223..254
+  are the 32 parity blocks.
+
+Corrupting any single 128-bit block corrupts at most one symbol in each
+of the 16 column codewords, so the chunk tolerates 16 corrupted blocks
+(or 32 erased blocks) -- exactly the block-level correction radius of
+the GF(2^128) code the paper cites, with the same 255/223 expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.util.bitops import ceil_div
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Geometry of the striped code.
+
+    Attributes
+    ----------
+    block_bytes:
+        Size of one file block in bytes (16 for the paper's 128-bit
+        blocks).
+    data_blocks:
+        Message blocks per chunk (k = 223).
+    total_blocks:
+        Encoded blocks per chunk (n = 255).
+    """
+
+    block_bytes: int = 16
+    data_blocks: int = 223
+    total_blocks: int = 255
+
+    @property
+    def parity_blocks(self) -> int:
+        """Parity blocks per chunk (n - k)."""
+        return self.total_blocks - self.data_blocks
+
+    @property
+    def expansion_factor(self) -> float:
+        """Size multiplier introduced by the code (n / k ~= 1.143)."""
+        return self.total_blocks / self.data_blocks
+
+    def validate(self) -> None:
+        """Check the geometry is a valid RS configuration."""
+        if self.block_bytes < 1:
+            raise ConfigurationError(
+                f"block_bytes must be >= 1, got {self.block_bytes}"
+            )
+        if not 0 < self.data_blocks < self.total_blocks <= 255:
+            raise ConfigurationError(
+                "need 0 < data_blocks < total_blocks <= 255, got "
+                f"k={self.data_blocks} n={self.total_blocks}"
+            )
+
+
+class BlockStriper:
+    """Encode/decode chunks of file blocks via column-interleaved RS.
+
+    The unit of work is a *chunk*: a list of ``data_blocks`` blocks in,
+    a list of ``total_blocks`` blocks out.  Short final chunks are
+    zero-padded to the full ``k`` before encoding (the file format
+    records the true length so padding is stripped on decode).
+    """
+
+    def __init__(self, layout: StripeLayout | None = None) -> None:
+        self.layout = layout or StripeLayout()
+        self.layout.validate()
+        self._rs = ReedSolomon(self.layout.total_blocks, self.layout.data_blocks)
+
+    def encode_chunk(self, blocks: list[bytes]) -> list[bytes]:
+        """Encode up to ``data_blocks`` blocks into ``total_blocks`` blocks."""
+        layout = self.layout
+        if not 0 < len(blocks) <= layout.data_blocks:
+            raise ConfigurationError(
+                f"chunk must have 1..{layout.data_blocks} blocks, got {len(blocks)}"
+            )
+        for i, block in enumerate(blocks):
+            if len(block) != layout.block_bytes:
+                raise ConfigurationError(
+                    f"block {i} has {len(block)} bytes, expected {layout.block_bytes}"
+                )
+        padded = list(blocks) + [bytes(layout.block_bytes)] * (
+            layout.data_blocks - len(blocks)
+        )
+        # Encode column-wise.
+        columns_out: list[bytes] = []
+        for col in range(layout.block_bytes):
+            column = bytes(block[col] for block in padded)
+            columns_out.append(self._rs.encode(column))
+        # Transpose back to blocks.
+        out: list[bytes] = []
+        for row in range(layout.total_blocks):
+            out.append(bytes(columns_out[col][row] for col in range(layout.block_bytes)))
+        return out
+
+    def decode_chunk(
+        self,
+        blocks: list[bytes],
+        *,
+        erasures: list[int] | None = None,
+        n_data: int | None = None,
+    ) -> list[bytes]:
+        """Decode a ``total_blocks``-block chunk back to its data blocks.
+
+        Parameters
+        ----------
+        blocks:
+            The (possibly corrupted) encoded chunk.
+        erasures:
+            Block indices known to be lost/unreliable.
+        n_data:
+            Number of real (unpadded) data blocks to return; defaults
+            to the full ``data_blocks``.
+        """
+        layout = self.layout
+        if len(blocks) != layout.total_blocks:
+            raise ConfigurationError(
+                f"encoded chunk must have {layout.total_blocks} blocks, got {len(blocks)}"
+            )
+        for i, block in enumerate(blocks):
+            if len(block) != layout.block_bytes:
+                raise ConfigurationError(
+                    f"block {i} has {len(block)} bytes, expected {layout.block_bytes}"
+                )
+        if n_data is None:
+            n_data = layout.data_blocks
+        if not 0 < n_data <= layout.data_blocks:
+            raise ConfigurationError(
+                f"n_data must be in 1..{layout.data_blocks}, got {n_data}"
+            )
+        erasure_list = sorted(set(erasures or []))
+        decoded_columns: list[bytes] = []
+        for col in range(layout.block_bytes):
+            column = bytes(block[col] for block in blocks)
+            try:
+                decoded_columns.append(self._rs.decode(column, erasures=erasure_list))
+            except UncorrectableError as exc:
+                raise UncorrectableError(
+                    f"chunk unrecoverable at byte column {col}: {exc}"
+                ) from exc
+        out: list[bytes] = []
+        for row in range(n_data):
+            out.append(bytes(decoded_columns[col][row] for col in range(layout.block_bytes)))
+        return out
+
+    # -- whole-file helpers ---------------------------------------------------
+
+    def encoded_length(self, n_data_blocks: int) -> int:
+        """Number of encoded blocks for a file of ``n_data_blocks`` blocks."""
+        if n_data_blocks < 0:
+            raise ConfigurationError(
+                f"n_data_blocks must be >= 0, got {n_data_blocks}"
+            )
+        chunks = ceil_div(n_data_blocks, self.layout.data_blocks)
+        return chunks * self.layout.total_blocks
+
+    def encode_blocks(self, blocks: list[bytes]) -> list[bytes]:
+        """Encode a whole file's block list chunk by chunk."""
+        out: list[bytes] = []
+        for start in range(0, len(blocks), self.layout.data_blocks):
+            out.extend(self.encode_chunk(blocks[start : start + self.layout.data_blocks]))
+        return out
+
+    def decode_blocks(
+        self, blocks: list[bytes], n_data_blocks: int
+    ) -> list[bytes]:
+        """Decode a whole file's encoded block list back to data blocks."""
+        if len(blocks) != self.encoded_length(n_data_blocks):
+            raise ConfigurationError(
+                f"expected {self.encoded_length(n_data_blocks)} encoded blocks, "
+                f"got {len(blocks)}"
+            )
+        out: list[bytes] = []
+        remaining = n_data_blocks
+        for start in range(0, len(blocks), self.layout.total_blocks):
+            chunk = blocks[start : start + self.layout.total_blocks]
+            take = min(remaining, self.layout.data_blocks)
+            out.extend(self.decode_chunk(chunk, n_data=take))
+            remaining -= take
+        return out

@@ -1,0 +1,142 @@
+"""Coordinate datasets used by the benchmarks.
+
+Three datasets mirror the paper's measurements:
+
+* :data:`AUSTRALIA_HOSTS` -- the nine hosts of Table III (university /
+  hospital sites around Australia) with the paper's reported physical
+  distance from the Brisbane ADSL2 vantage point and the measured
+  latency, so benches can compare model output against the paper's
+  numbers directly.
+* :data:`QUT_LAN_MACHINES` -- the ten machine placements of Table II
+  (distance from the source machine in km; all latencies < 1 ms).
+* :data:`WORLD_DATACENTRES` -- a selection of real cloud-region cities
+  used by the relay-attack and geolocation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+
+# ---------------------------------------------------------------------------
+# City coordinates (decimal degrees).
+# ---------------------------------------------------------------------------
+
+_CITIES: dict[str, GeoPoint] = {
+    "brisbane": GeoPoint(-27.4698, 153.0251, "Brisbane"),
+    "armidale": GeoPoint(-30.5000, 151.6500, "Armidale"),
+    "sydney": GeoPoint(-33.8688, 151.2093, "Sydney"),
+    "townsville": GeoPoint(-19.2590, 146.8169, "Townsville"),
+    "melbourne": GeoPoint(-37.8136, 144.9631, "Melbourne"),
+    "adelaide": GeoPoint(-34.9285, 138.6007, "Adelaide"),
+    "hobart": GeoPoint(-42.8821, 147.3272, "Hobart"),
+    "perth": GeoPoint(-31.9523, 115.8613, "Perth"),
+    "singapore": GeoPoint(1.3521, 103.8198, "Singapore"),
+    "tokyo": GeoPoint(35.6762, 139.6503, "Tokyo"),
+    "frankfurt": GeoPoint(50.1109, 8.6821, "Frankfurt"),
+    "dublin": GeoPoint(53.3498, -6.2603, "Dublin"),
+    "virginia": GeoPoint(38.7469, -77.4758, "N. Virginia"),
+    "oregon": GeoPoint(45.8399, -119.7006, "Oregon"),
+    "sao_paulo": GeoPoint(-23.5505, -46.6333, "Sao Paulo"),
+    "mumbai": GeoPoint(19.0760, 72.8777, "Mumbai"),
+    "auckland": GeoPoint(-36.8509, 174.7645, "Auckland"),
+    "jakarta": GeoPoint(-6.2088, 106.8456, "Jakarta"),
+}
+
+
+def city(name: str) -> GeoPoint:
+    """Look up a city by key (case-insensitive); raises with suggestions."""
+    key = name.strip().lower().replace(" ", "_")
+    if key not in _CITIES:
+        raise ConfigurationError(
+            f"unknown city {name!r}; available: {', '.join(sorted(_CITIES))}"
+        )
+    return _CITIES[key]
+
+
+# ---------------------------------------------------------------------------
+# Table III: Internet latency within Australia.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostMeasurement:
+    """One row of Table III: a host, its location, and the paper's numbers."""
+
+    url: str
+    location: GeoPoint
+    paper_distance_km: float
+    paper_latency_ms: float
+
+
+#: The Brisbane ADSL2 vantage point of Table III.
+BRISBANE_ADSL_HOST = GeoPoint(-27.4698, 153.0251, "Brisbane ADSL2 host")
+
+#: Table III rows: (url, location, paper distance km, paper latency ms).
+AUSTRALIA_HOSTS: list[HostMeasurement] = [
+    HostMeasurement("uq.edu.au", GeoPoint(-27.4975, 153.0137, "UQ Brisbane"), 8.0, 18.0),
+    HostMeasurement("qut.edu.au", GeoPoint(-27.4772, 153.0284, "QUT Brisbane"), 12.0, 20.0),
+    HostMeasurement("une.edu.au", _CITIES["armidale"], 350.0, 26.0),
+    HostMeasurement("sydney.edu.au", _CITIES["sydney"], 722.0, 34.0),
+    HostMeasurement("jcu.edu.au", _CITIES["townsville"], 1120.0, 39.0),
+    HostMeasurement("mh.org.au", _CITIES["melbourne"], 1363.0, 42.0),
+    HostMeasurement("rah.sa.gov.au", _CITIES["adelaide"], 1592.0, 54.0),
+    HostMeasurement("utas.edu.au", _CITIES["hobart"], 1785.0, 64.0),
+    HostMeasurement("uwa.edu.au", _CITIES["perth"], 3605.0, 82.0),
+]
+
+
+# ---------------------------------------------------------------------------
+# Table II: LAN latency within QUT.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LANPlacement:
+    """One row of Table II: machine number, placement, distance."""
+
+    machine: int
+    location_label: str
+    distance_km: float
+    paper_latency_upper_ms: float = 1.0
+
+
+#: Table II rows (all measured < 1 ms in the paper).
+QUT_LAN_MACHINES: list[LANPlacement] = [
+    LANPlacement(1, "Same level", 0.0),
+    LANPlacement(2, "Same level", 0.01),
+    LANPlacement(3, "Same level", 0.02),
+    LANPlacement(4, "Same Campus", 0.5),
+    LANPlacement(5, "Other Campus", 3.2),
+    LANPlacement(6, "Same Campus", 0.5),
+    LANPlacement(7, "Other Campus", 3.2),
+    LANPlacement(8, "Other Campus", 45.0),
+    LANPlacement(9, "Other Campus", 3.2),
+    LANPlacement(10, "Other Campus", 3.2),
+]
+
+
+# ---------------------------------------------------------------------------
+# World data-centre sites for relay/geolocation experiments.
+# ---------------------------------------------------------------------------
+
+#: Cloud-region cities: name -> location.
+WORLD_DATACENTRES: dict[str, GeoPoint] = {
+    name: _CITIES[name]
+    for name in (
+        "sydney",
+        "melbourne",
+        "singapore",
+        "tokyo",
+        "frankfurt",
+        "dublin",
+        "virginia",
+        "oregon",
+        "sao_paulo",
+        "mumbai",
+        "auckland",
+        "jakarta",
+    )
+}

@@ -1,0 +1,36 @@
+"""Geolocation baselines (Section III-B of the paper).
+
+The measurement- and mapping-based schemes the paper reviews (and
+dismisses as too coarse and non-adversarial for cloud location
+assurance).  Implemented against the simulated network topology so the
+benchmarks can quantify the accuracy claim "most provide location
+estimates with worst-case errors of over 1000 km":
+
+* :mod:`repro.geoloc.geoping` -- nearest-landmark delay matching.
+* :mod:`repro.geoloc.octant` -- Octant-style ring intersection
+  (positive/negative constraints from calibrated delay-distance
+  envelopes).
+* :mod:`repro.geoloc.tbg` -- topology-based geolocation: constrain by
+  per-hop measurements from traceroutes.
+* :mod:`repro.geoloc.geotrack` -- DNS-name-based router mapping along
+  the route.
+* :mod:`repro.geoloc.geocluster` -- BGP-prefix clustering of IP space.
+"""
+
+from repro.geoloc.base import GeolocationEstimate, GeolocationScheme, LocationError
+from repro.geoloc.geocluster import GeoCluster
+from repro.geoloc.geoping import GeoPing
+from repro.geoloc.geotrack import GeoTrack
+from repro.geoloc.octant import OctantLike
+from repro.geoloc.tbg import TopologyBasedGeolocation
+
+__all__ = [
+    "GeolocationScheme",
+    "GeolocationEstimate",
+    "LocationError",
+    "GeoPing",
+    "OctantLike",
+    "TopologyBasedGeolocation",
+    "GeoTrack",
+    "GeoCluster",
+]

@@ -1,0 +1,68 @@
+"""Shared geolocation-scheme interface.
+
+Every scheme takes a :class:`~repro.netsim.topology.NetworkTopology`
+whose nodes carry ground-truth positions (used only for landmarks and
+for scoring), probes a *target node*, and returns a
+:class:`GeolocationEstimate`.  Schemes must not read the target's own
+position -- only probe measurements and landmark ground truth.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.netsim.topology import NetworkTopology
+
+
+@dataclass(frozen=True)
+class GeolocationEstimate:
+    """A scheme's answer: estimated position and a confidence radius.
+
+    ``radius_km`` is the scheme's own uncertainty claim (e.g. the
+    Octant-style intersection's extent); scoring uses the true error.
+    """
+
+    target: str
+    position: GeoPoint
+    radius_km: float
+    scheme: str
+
+
+@dataclass(frozen=True)
+class LocationError:
+    """The estimate scored against ground truth."""
+
+    estimate: GeolocationEstimate
+    true_position: GeoPoint
+    error_km: float
+
+
+class GeolocationScheme(ABC):
+    """Base class: probe a target through the topology, estimate position."""
+
+    name = "abstract"
+
+    def __init__(self, topology: NetworkTopology, landmark_names: list[str]) -> None:
+        if not landmark_names:
+            raise ConfigurationError("at least one landmark is required")
+        for landmark in landmark_names:
+            topology.node(landmark)  # validates existence
+        self.topology = topology
+        self.landmarks = list(landmark_names)
+
+    @abstractmethod
+    def locate(self, target: str) -> GeolocationEstimate:
+        """Estimate the target's position."""
+
+    def score(self, target: str) -> LocationError:
+        """Locate and score against the topology's ground truth."""
+        estimate = self.locate(target)
+        true_position = self.topology.node(target).position
+        return LocationError(
+            estimate=estimate,
+            true_position=true_position,
+            error_km=haversine_km(estimate.position, true_position),
+        )

@@ -1,0 +1,97 @@
+"""GeoCluster (Padmanabhan & Subramanian, SIGMETRICS'01).
+
+"The main idea of GeoCluster is to determine the geographic location
+of the target hosts by using the BGP routing information ... combining
+the BGP information with its IP-to-location mapping information."
+
+Implementation: the simulated address plan assigns every node an
+(address-prefix, position) pair; the :class:`BGPTable` groups
+addresses into prefixes (clusters) and holds *partial* location data
+for some addresses per cluster.  Locating a target = find its longest
+matching prefix, return the centroid of that cluster's known
+locations.  Accuracy is exactly as good as the prefix granularity --
+a continental prefix yields continental error, the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.geoloc.base import GeolocationEstimate, GeolocationScheme
+from repro.netsim.topology import NetworkTopology
+
+
+@dataclass
+class BGPTable:
+    """Prefix -> known member locations."""
+
+    clusters: dict[str, list[GeoPoint]] = field(default_factory=dict)
+    address_of: dict[str, str] = field(default_factory=dict)
+
+    def announce(self, prefix: str) -> None:
+        """Register a routing prefix (e.g. ``"10.1"``)."""
+        self.clusters.setdefault(prefix, [])
+
+    def assign_address(self, node_name: str, address: str) -> None:
+        """Give a node an address (dot-separated, prefix-matchable)."""
+        self.address_of[node_name] = address
+
+    def add_known_location(self, prefix: str, location: GeoPoint) -> None:
+        """Feed partial IP-to-location data into a cluster."""
+        if prefix not in self.clusters:
+            raise ConfigurationError(f"unknown prefix {prefix!r}")
+        self.clusters[prefix].append(location)
+
+    def longest_prefix(self, address: str) -> str | None:
+        """Longest announced prefix matching an address."""
+        best = None
+        for prefix in self.clusters:
+            if address == prefix or address.startswith(prefix + "."):
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        return best
+
+
+class GeoCluster(GeolocationScheme):
+    """Prefix-cluster centroid geolocation."""
+
+    name = "geocluster"
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        landmark_names: list[str],
+        bgp: BGPTable,
+    ) -> None:
+        super().__init__(topology, landmark_names)
+        self.bgp = bgp
+
+    def locate(self, target: str) -> GeolocationEstimate:
+        """Longest-prefix match, then cluster centroid."""
+        address = self.bgp.address_of.get(target)
+        fallback = self.topology.node(self.landmarks[0]).position
+        if address is None:
+            return GeolocationEstimate(
+                target=target, position=fallback, radius_km=0.0, scheme=self.name
+            )
+        prefix = self.bgp.longest_prefix(address)
+        if prefix is None or not self.bgp.clusters[prefix]:
+            return GeolocationEstimate(
+                target=target, position=fallback, radius_km=0.0, scheme=self.name
+            )
+        members = self.bgp.clusters[prefix]
+        centroid = GeoPoint(
+            sum(p.latitude for p in members) / len(members),
+            sum(p.longitude for p in members) / len(members),
+        )
+        from repro.geo.coords import haversine_km
+
+        spread = max(haversine_km(centroid, p) for p in members)
+        return GeolocationEstimate(
+            target=target,
+            position=centroid,
+            radius_km=spread,
+            scheme=self.name,
+        )

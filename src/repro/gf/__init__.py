@@ -1,0 +1,16 @@
+"""Finite-field arithmetic substrate.
+
+Reed-Solomon coding (step 2 of the POR setup) needs arithmetic over
+GF(2^8) and polynomial manipulation over that field:
+
+* :mod:`repro.gf.gf256` -- table-driven GF(2^8) arithmetic with the
+  AES/RS-standard primitive polynomial x^8 + x^4 + x^3 + x^2 + 1
+  (0x11D) and generator 2.
+* :mod:`repro.gf.poly` -- dense polynomials over GF(2^8): evaluation,
+  arithmetic, formal derivative, root finding (Chien-style scan).
+"""
+
+from repro.gf.gf256 import GF256
+from repro.gf.poly import Poly
+
+__all__ = ["GF256", "Poly"]

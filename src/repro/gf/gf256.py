@@ -1,0 +1,123 @@
+"""GF(2^8) arithmetic for Reed-Solomon coding.
+
+Elements are ints in [0, 255].  Addition is XOR; multiplication uses
+log/antilog tables built from the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D) with generator alpha = 2, the
+conventional choice for RS(255, k) codes (note: this differs from the
+AES polynomial 0x11B used inside :mod:`repro.crypto.aes`; the two
+fields are isomorphic but the representations are distinct on purpose,
+matching standard practice for each application).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+_PRIMITIVE_POLY = 0x11D
+_GENERATOR = 2
+
+
+def _build_tables() -> tuple[list[int], list[int]]:
+    exp = [0] * 512  # doubled so products of logs index without mod 255
+    log = [0] * 256
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLY
+    for power in range(255, 512):
+        exp[power] = exp[power - 255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Namespace of static GF(2^8) operations.
+
+    All methods validate their inputs; the RS hot paths below use the
+    module-level tables directly.
+    """
+
+    ORDER = 256
+    GENERATOR = _GENERATOR
+    PRIMITIVE_POLY = _PRIMITIVE_POLY
+
+    @staticmethod
+    def _check(*values: int) -> None:
+        for v in values:
+            if not isinstance(v, int) or not 0 <= v <= 255:
+                raise ConfigurationError(f"GF(256) element out of range: {v!r}")
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (XOR); also subtraction in characteristic 2."""
+        GF256._check(a, b)
+        return a ^ b
+
+    # Subtraction is identical to addition in GF(2^8).
+    sub = add
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        """Field multiplication via log tables."""
+        GF256._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return _EXP[_LOG[a] + _LOG[b]]
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        """Field division ``a / b``; raises on division by zero."""
+        GF256._check(a, b)
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+    @staticmethod
+    def inv(a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        GF256._check(a)
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return _EXP[255 - _LOG[a]]
+
+    @staticmethod
+    def pow(a: int, exponent: int) -> int:
+        """Field exponentiation ``a ** exponent`` (exponent may be negative)."""
+        GF256._check(a)
+        if a == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 ** non-positive is undefined")
+            return 0
+        return _EXP[(_LOG[a] * exponent) % 255]
+
+    @staticmethod
+    def exp(power: int) -> int:
+        """Return ``alpha ** power`` for the field generator alpha."""
+        return _EXP[power % 255]
+
+    @staticmethod
+    def log(a: int) -> int:
+        """Discrete log base alpha; raises on zero."""
+        GF256._check(a)
+        if a == 0:
+            raise ZeroDivisionError("log(0) is undefined")
+        return _LOG[a]
+
+
+# Fast-path aliases for the RS implementation (no per-call validation).
+EXP_TABLE = _EXP
+LOG_TABLE = _LOG
+
+
+def mul_fast(a: int, b: int) -> int:
+    """Unchecked multiplication for hot loops (inputs must be in [0,255])."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]

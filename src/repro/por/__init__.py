@@ -1,0 +1,48 @@
+"""Proof-of-storage (POS/POR) subsystem.
+
+Implements the proof-of-retrievability constructions GeoProof builds
+on:
+
+* :mod:`repro.por.parameters` -- the parameter set from the paper
+  (128-bit blocks, RS(255, 223), v-block segments, 20-bit tags) plus
+  exact overhead accounting.
+* :mod:`repro.por.file_format` -- block/segment layout and the encoded
+  file container.
+* :mod:`repro.por.setup` -- the five-step Juels-Kaliski setup pipeline
+  (block, ECC, encrypt, permute, MAC) and its inverse (extraction).
+* :mod:`repro.por.mac_por` -- the MAC-based POR used by GeoProof:
+  challenge = random segment indices, response = segments + embedded
+  tags, verification = MAC recomputation.
+* :mod:`repro.por.sentinel_por` -- the original sentinel-based POR of
+  Juels-Kaliski (implemented for the baseline comparison).
+* :mod:`repro.por.merkle` / :mod:`repro.por.dynamic` -- a Merkle-tree
+  dynamic POR in the style of Wang et al. (the extension the paper
+  names for dynamic data).
+* :mod:`repro.por.analysis` -- closed-form detection probabilities.
+"""
+
+from repro.por.dynamic import DynamicPOR, DynamicProof
+from repro.por.file_format import EncodedFile, Segment
+from repro.por.mac_por import MacPORClient, MacPORServer, PORChallenge, PORResponse
+from repro.por.merkle import MerkleTree
+from repro.por.parameters import PORParams
+from repro.por.sentinel_por import SentinelPORClient, SentinelPORServer
+from repro.por.setup import PORKeys, extract_file, setup_file
+
+__all__ = [
+    "PORParams",
+    "EncodedFile",
+    "Segment",
+    "PORKeys",
+    "setup_file",
+    "extract_file",
+    "MacPORClient",
+    "MacPORServer",
+    "PORChallenge",
+    "PORResponse",
+    "SentinelPORClient",
+    "SentinelPORServer",
+    "MerkleTree",
+    "DynamicPOR",
+    "DynamicProof",
+]

@@ -1,0 +1,183 @@
+"""The encoded-file container and segment layout.
+
+After the five setup steps the client holds (and uploads) the file
+``F~``: a sequence of *segments*, each ``v`` blocks of payload plus a
+truncated MAC tag.  :class:`EncodedFile` is that container together
+with the metadata the client/TPA needs to audit and to extract the
+original file (true length, file id, parameter set).
+
+Segments are the protocol's unit of challenge/response: the verifier
+asks for index ``c_j`` and the prover must return ``S_cj || tau_cj``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BlockNotFoundError, ConfigurationError
+from repro.por.parameters import PORParams
+from repro.util.serialization import (
+    decode_bytes_list,
+    decode_length_prefixed,
+    decode_uint,
+    encode_bytes_list,
+    encode_length_prefixed,
+    encode_uint,
+)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One stored segment: payload blocks plus embedded tag."""
+
+    index: int
+    payload: bytes
+    tag: bytes
+
+    def wire_bytes(self) -> bytes:
+        """Canonical encoding sent over the simulated wire."""
+        return (
+            encode_uint(self.index)
+            + encode_length_prefixed(self.payload)
+            + encode_length_prefixed(self.tag)
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes, offset: int = 0) -> tuple["Segment", int]:
+        """Parse a segment from its wire encoding."""
+        index, offset = decode_uint(data, offset)
+        payload, offset = decode_length_prefixed(data, offset)
+        tag, offset = decode_length_prefixed(data, offset)
+        return cls(index=index, payload=payload, tag=tag), offset
+
+    @property
+    def size_bytes(self) -> int:
+        """Stored size (payload + tag)."""
+        return len(self.payload) + len(self.tag)
+
+
+class EncodedFile:
+    """The fully prepared file ``F~`` ready for upload.
+
+    Parameters
+    ----------
+    file_id:
+        The ``fid`` bound into every MAC tag.
+    params:
+        The :class:`PORParams` used to build the file.
+    segments:
+        All segments in order.
+    original_length:
+        True byte length of the original file (needed to strip padding
+        on extraction).
+    n_data_blocks:
+        Number of pre-ECC data blocks.
+    """
+
+    def __init__(
+        self,
+        file_id: bytes,
+        params: PORParams,
+        segments: list[Segment],
+        original_length: int,
+        n_data_blocks: int,
+    ) -> None:
+        if original_length < 0:
+            raise ConfigurationError(
+                f"original_length must be >= 0, got {original_length}"
+            )
+        for expect, segment in enumerate(segments):
+            if segment.index != expect:
+                raise ConfigurationError(
+                    f"segment {expect} has index {segment.index}"
+                )
+        self.file_id = file_id
+        self.params = params
+        self.segments = segments
+        self.original_length = original_length
+        self.n_data_blocks = n_data_blocks
+
+    @property
+    def n_segments(self) -> int:
+        """The paper's n~: total number of stored segments."""
+        return len(self.segments)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total stored size in bytes."""
+        return sum(segment.size_bytes for segment in self.segments)
+
+    def segment(self, index: int) -> Segment:
+        """Fetch one segment; raises :class:`BlockNotFoundError` if absent."""
+        if not 0 <= index < len(self.segments):
+            raise BlockNotFoundError(
+                f"segment {index} not in [0, {len(self.segments)})"
+            )
+        return self.segments[index]
+
+    def blocks(self) -> list[bytes]:
+        """Reassemble the flat (permuted, encrypted, ECC) block list.
+
+        The final segment may be padded; padding blocks are included --
+        extraction handles them via ``n_data_blocks`` and
+        ``original_length``.
+        """
+        block_bytes = self.params.block_bytes
+        out: list[bytes] = []
+        for segment in self.segments:
+            payload = segment.payload
+            for start in range(0, len(payload), block_bytes):
+                out.append(payload[start : start + block_bytes])
+        return out
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the whole container (used by storage back ends)."""
+        header = (
+            encode_length_prefixed(self.file_id)
+            + encode_uint(self.original_length)
+            + encode_uint(self.n_data_blocks)
+            + encode_uint(self.params.block_bits)
+            + encode_uint(self.params.ecc_data_blocks)
+            + encode_uint(self.params.ecc_total_blocks)
+            + encode_uint(self.params.segment_blocks)
+            + encode_uint(self.params.tag_bits)
+        )
+        payloads = encode_bytes_list([s.payload for s in self.segments])
+        tags = encode_bytes_list([s.tag for s in self.segments])
+        return header + payloads + tags
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EncodedFile":
+        """Parse a container serialised with :meth:`to_bytes`."""
+        file_id, offset = decode_length_prefixed(data, 0)
+        original_length, offset = decode_uint(data, offset)
+        n_data_blocks, offset = decode_uint(data, offset)
+        block_bits, offset = decode_uint(data, offset)
+        ecc_k, offset = decode_uint(data, offset)
+        ecc_n, offset = decode_uint(data, offset)
+        segment_blocks, offset = decode_uint(data, offset)
+        tag_bits, offset = decode_uint(data, offset)
+        params = PORParams(
+            block_bits=block_bits,
+            ecc_data_blocks=ecc_k,
+            ecc_total_blocks=ecc_n,
+            segment_blocks=segment_blocks,
+            tag_bits=tag_bits,
+        )
+        payloads, offset = decode_bytes_list(data, offset)
+        tags, offset = decode_bytes_list(data, offset)
+        if len(payloads) != len(tags):
+            raise ConfigurationError("payload/tag count mismatch")
+        segments = [
+            Segment(index=i, payload=p, tag=t)
+            for i, (p, t) in enumerate(zip(payloads, tags))
+        ]
+        return cls(
+            file_id=file_id,
+            params=params,
+            segments=segments,
+            original_length=original_length,
+            n_data_blocks=n_data_blocks,
+        )

@@ -1,0 +1,167 @@
+"""The original sentinel-based POR of Juels-Kaliski.
+
+GeoProof uses the MAC variant, but the paper motivates it via the
+sentinel scheme, and the benchmark suite compares the two.  In the
+sentinel construction the Encode algorithm encrypts the file, inserts
+random-valued *sentinel* blocks at pseudorandom positions, and applies
+error correction; a challenge asks the server to return the values at a
+subset of sentinel positions.  Because the encrypted data blocks are
+indistinguishable from sentinels, a server that corrupts an
+epsilon-fraction of its storage corrupts the same fraction of the
+unqueried sentinels in expectation and is caught with probability
+roughly ``1 - (1 - epsilon)^q`` per q-sentinel challenge.
+
+Simplifications relative to the full JK construction (documented for
+honesty; none affects the detection math the benchmarks measure):
+
+* sentinels are inserted *after* ECC rather than interleaved with it;
+* each sentinel may be queried once (the client tracks consumption);
+* sentinel values are PRF outputs, so client state is O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import aes_ctr_encrypt
+from repro.crypto.prf import prf_int, prf_stream
+from repro.crypto.prp import BlockPermutation
+from repro.erasure.striping import BlockStriper
+from repro.errors import BlockNotFoundError, ConfigurationError, ProtocolError
+from repro.por.parameters import PORParams
+from repro.por.setup import _ctr_nonce, _split_blocks
+
+
+@dataclass(frozen=True)
+class SentinelChallenge:
+    """Positions of the sentinels being spot-checked."""
+
+    positions: tuple[int, ...]
+    sentinel_ids: tuple[int, ...]  # which sentinel number each position holds
+
+
+@dataclass(frozen=True)
+class SentinelResponse:
+    """Block values the server claims live at the challenged positions."""
+
+    blocks: tuple[bytes, ...]
+
+
+class SentinelPORServer:
+    """Stores the sentinel-encoded block list and answers position reads."""
+
+    def __init__(self, blocks: list[bytes]) -> None:
+        self.blocks = list(blocks)
+
+    def respond(self, challenge: SentinelChallenge) -> SentinelResponse:
+        """Return the blocks at the challenged positions."""
+        out = []
+        for position in challenge.positions:
+            if not 0 <= position < len(self.blocks):
+                raise BlockNotFoundError(f"position {position} out of range")
+            out.append(self.blocks[position])
+        return SentinelResponse(blocks=tuple(out))
+
+
+class SentinelPORClient:
+    """Encodes files with sentinels and verifies spot-check responses."""
+
+    def __init__(
+        self,
+        master_key: bytes,
+        file_id: bytes,
+        n_sentinels: int,
+        params: PORParams | None = None,
+    ) -> None:
+        if n_sentinels <= 0:
+            raise ConfigurationError(
+                f"n_sentinels must be positive, got {n_sentinels}"
+            )
+        self.params = params or PORParams()
+        self.file_id = file_id
+        self.n_sentinels = n_sentinels
+        self._key = master_key
+        self._consumed = 0
+        self._n_total_blocks: int | None = None
+
+    # -- encode -----------------------------------------------------------
+
+    def _sentinel_value(self, sentinel_id: int) -> bytes:
+        return prf_stream(
+            self._key,
+            b"sentinel-value",
+            self.file_id + sentinel_id.to_bytes(8, "big"),
+            self.params.block_bytes,
+        )
+
+    def encode(self, data: bytes) -> list[bytes]:
+        """Produce the sentinel-encoded block list for upload.
+
+        Pipeline: block, ECC, encrypt, append sentinels, permute.  The
+        final permutation hides which positions are sentinels.
+        """
+        params = self.params
+        blocks = _split_blocks(data, params.block_bytes)
+        striper = BlockStriper(params.stripe_layout)
+        encoded = striper.encode_blocks(blocks)
+        nonce = _ctr_nonce(self.file_id)
+        flat = aes_ctr_encrypt(
+            prf_stream(self._key, b"sentinel-enc-key", self.file_id, 16),
+            nonce,
+            b"".join(encoded),
+        )
+        encrypted = [
+            flat[i : i + params.block_bytes]
+            for i in range(0, len(flat), params.block_bytes)
+        ]
+        with_sentinels = encrypted + [
+            self._sentinel_value(s) for s in range(self.n_sentinels)
+        ]
+        permutation = BlockPermutation(
+            prf_stream(self._key, b"sentinel-perm-key", self.file_id, 32),
+            len(with_sentinels),
+        )
+        self._n_total_blocks = len(with_sentinels)
+        return permutation.permute_list(with_sentinels)
+
+    def _sentinel_position(self, sentinel_id: int, n_total_blocks: int) -> int:
+        """Post-permutation position of a given sentinel."""
+        permutation = BlockPermutation(
+            prf_stream(self._key, b"sentinel-perm-key", self.file_id, 32),
+            n_total_blocks,
+        )
+        original_position = n_total_blocks - self.n_sentinels + sentinel_id
+        return permutation.forward(original_position)
+
+    # -- challenge / verify --------------------------------------------------
+
+    @property
+    def sentinels_remaining(self) -> int:
+        """How many unconsumed sentinels are left."""
+        return self.n_sentinels - self._consumed
+
+    def make_challenge(self, q: int) -> SentinelChallenge:
+        """Consume the next ``q`` sentinels and reveal their positions."""
+        if self._n_total_blocks is None:
+            raise ProtocolError("encode() must run before challenges")
+        if q <= 0 or q > self.sentinels_remaining:
+            raise ConfigurationError(
+                f"q must be in 1..{self.sentinels_remaining}, got {q}"
+            )
+        ids = tuple(range(self._consumed, self._consumed + q))
+        self._consumed += q
+        positions = tuple(
+            self._sentinel_position(s, self._n_total_blocks) for s in ids
+        )
+        return SentinelChallenge(positions=positions, sentinel_ids=ids)
+
+    def verify_response(
+        self, challenge: SentinelChallenge, response: SentinelResponse
+    ) -> bool:
+        """True iff every returned block equals the expected sentinel."""
+        if len(response.blocks) != len(challenge.sentinel_ids):
+            return False
+        for sentinel_id, block in zip(challenge.sentinel_ids, response.blocks):
+            if block != self._sentinel_value(sentinel_id):
+                return False
+        return True

@@ -1,0 +1,231 @@
+"""The five-step Juels-Kaliski setup pipeline and its inverse.
+
+Section V-A of the paper:
+
+1. divide the file into blocks of ``l_B`` = 128 bits;
+2. group blocks into k-block chunks and apply the (255, 223)
+   Reed-Solomon code, yielding ``F'``;
+3. encrypt: ``F'' = E_K(F')``;
+4. reorder blocks of ``F''`` with a pseudorandom permutation,
+   yielding ``F'''``;
+5. cut ``F'''`` into v-block segments, MAC each as
+   ``tau_i = MAC_K'(S_i, i, fid)`` and embed the tag, yielding ``F~``.
+
+:func:`setup_file` performs 1-5; :func:`extract_file` inverts them
+(verify tags, un-permute, decrypt, ECC-decode) and is what makes the
+scheme a proof of *retrievability*: as long as not too many blocks per
+chunk are bad, the original file comes back bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import aes_ctr_decrypt, aes_ctr_encrypt
+from repro.crypto.kdf import derive_subkeys
+from repro.crypto.mac import mac_tag, mac_verify
+from repro.crypto.prp import BlockPermutation
+from repro.erasure.striping import BlockStriper
+from repro.errors import ConfigurationError, VerificationError
+from repro.por.file_format import EncodedFile, Segment
+from repro.por.parameters import PORParams
+
+
+@dataclass(frozen=True)
+class PORKeys:
+    """The client's keys, derived from one master key.
+
+    Attributes
+    ----------
+    encryption_key:
+        AES key for step 3.
+    permutation_key:
+        PRP key for step 4.
+    mac_key:
+        The paper's ``K'`` used for segment tags (shared with the TPA:
+        "the TPA knows the secret key used to verify the MAC tags").
+    """
+
+    encryption_key: bytes
+    permutation_key: bytes
+    mac_key: bytes
+
+    @classmethod
+    def derive(cls, master_key: bytes) -> "PORKeys":
+        """Derive the three sub-keys from a master key via HKDF."""
+        if len(master_key) < 16:
+            raise ConfigurationError(
+                f"master key must be >= 16 bytes, got {len(master_key)}"
+            )
+        subkeys = derive_subkeys(master_key, ["enc", "perm", "mac"])
+        return cls(
+            encryption_key=subkeys["enc"][:16],
+            permutation_key=subkeys["perm"],
+            mac_key=subkeys["mac"],
+        )
+
+
+def _split_blocks(data: bytes, block_bytes: int) -> list[bytes]:
+    """Step 1: split into fixed blocks, zero-padding the final one."""
+    blocks = []
+    for start in range(0, len(data), block_bytes):
+        block = data[start : start + block_bytes]
+        if len(block) < block_bytes:
+            block = block + bytes(block_bytes - len(block))
+        blocks.append(block)
+    if not blocks:
+        blocks.append(bytes(block_bytes))  # empty file -> one zero block
+    return blocks
+
+
+def _ctr_nonce(file_id: bytes) -> bytes:
+    """Derive the CTR initial counter block from the file id."""
+    import hashlib
+
+    return hashlib.sha256(b"por-ctr-nonce" + file_id).digest()[:16]
+
+
+def setup_file(
+    data: bytes,
+    keys: PORKeys,
+    file_id: bytes,
+    params: PORParams | None = None,
+) -> EncodedFile:
+    """Run the full five-step setup, producing the uploadable ``F~``."""
+    params = params or PORParams()
+    block_bytes = params.block_bytes
+
+    # Step 1: blocking.
+    blocks = _split_blocks(data, block_bytes)
+
+    # Step 2: per-chunk Reed-Solomon -> F'.
+    striper = BlockStriper(params.stripe_layout)
+    encoded_blocks = striper.encode_blocks(blocks)
+
+    # Step 3: encryption -> F''.  CTR keystream positions are indexed by
+    # the block's pre-permutation position so decryption after
+    # un-permuting lines up.
+    nonce = _ctr_nonce(file_id)
+    flat = b"".join(encoded_blocks)
+    encrypted = aes_ctr_encrypt(keys.encryption_key, nonce, flat)
+    encrypted_blocks = [
+        encrypted[i : i + block_bytes] for i in range(0, len(encrypted), block_bytes)
+    ]
+
+    # Step 4: pseudorandom permutation of block positions -> F'''.
+    permutation = BlockPermutation(keys.permutation_key, len(encrypted_blocks))
+    permuted_blocks = permutation.permute_list(encrypted_blocks)
+
+    # Step 5: segment + MAC -> F~.  The final segment may be short; it
+    # is zero-padded to keep every stored segment the same size (the
+    # tag covers the padded payload, so padding is tamper-evident).
+    segments: list[Segment] = []
+    v = params.segment_blocks
+    for seg_index, start in enumerate(range(0, len(permuted_blocks), v)):
+        seg_blocks = permuted_blocks[start : start + v]
+        while len(seg_blocks) < v:
+            seg_blocks.append(bytes(block_bytes))
+        payload = b"".join(seg_blocks)
+        tag = mac_tag(
+            keys.mac_key, payload, seg_index, file_id, tag_bits=params.tag_bits
+        )
+        segments.append(Segment(index=seg_index, payload=payload, tag=tag))
+
+    return EncodedFile(
+        file_id=file_id,
+        params=params,
+        segments=segments,
+        original_length=len(data),
+        n_data_blocks=len(blocks),
+    )
+
+
+def extract_file(
+    encoded: EncodedFile,
+    keys: PORKeys,
+    *,
+    verify_tags: bool = True,
+) -> bytes:
+    """Invert the setup pipeline and return the original file bytes.
+
+    With ``verify_tags`` (default) every segment's MAC is checked first
+    and segments with bad tags are treated as *erasures* for the
+    Reed-Solomon decoder -- this is exactly the retrievability
+    mechanism: tampering either trips a tag (becoming an erasure the
+    code heals) or is small enough for the code to correct blind.
+    """
+    params = encoded.params
+    block_bytes = params.block_bytes
+    v = params.segment_blocks
+
+    bad_segments: set[int] = set()
+    if verify_tags:
+        for segment in encoded.segments:
+            ok = mac_verify(
+                keys.mac_key,
+                segment.payload,
+                segment.index,
+                encoded.file_id,
+                segment.tag,
+                tag_bits=params.tag_bits,
+            )
+            if not ok:
+                bad_segments.add(segment.index)
+
+    permuted_blocks = encoded.blocks()
+    n_encoded = BlockStriper(params.stripe_layout).encoded_length(
+        encoded.n_data_blocks
+    )
+    # Drop segment padding blocks beyond the true encoded length.
+    permuted_blocks = permuted_blocks[:n_encoded]
+
+    # Mark blocks of bad segments as erasures (post-permutation index).
+    bad_permuted_positions = set()
+    for seg_index in bad_segments:
+        for offset in range(v):
+            position = seg_index * v + offset
+            if position < n_encoded:
+                bad_permuted_positions.add(position)
+
+    # Step 4 inverse: un-permute.
+    permutation = BlockPermutation(keys.permutation_key, n_encoded)
+    encrypted_blocks = permutation.unpermute_list(permuted_blocks)
+    bad_positions = {
+        permutation.inverse(p) for p in bad_permuted_positions
+    }
+
+    # Step 3 inverse: decrypt.
+    flat = b"".join(encrypted_blocks)
+    decrypted = aes_ctr_decrypt(
+        keys.encryption_key, _ctr_nonce(encoded.file_id), flat
+    )
+    decoded_input = [
+        decrypted[i : i + block_bytes] for i in range(0, len(decrypted), block_bytes)
+    ]
+
+    # Step 2 inverse: RS-decode chunk by chunk with erasure hints.
+    striper = BlockStriper(params.stripe_layout)
+    n_chunks = n_encoded // params.ecc_total_blocks
+    data_blocks: list[bytes] = []
+    remaining = encoded.n_data_blocks
+    for chunk_index in range(n_chunks):
+        start = chunk_index * params.ecc_total_blocks
+        chunk = decoded_input[start : start + params.ecc_total_blocks]
+        erasures = [
+            p - start
+            for p in bad_positions
+            if start <= p < start + params.ecc_total_blocks
+        ]
+        take = min(remaining, params.ecc_data_blocks)
+        data_blocks.extend(
+            striper.decode_chunk(chunk, erasures=erasures, n_data=take)
+        )
+        remaining -= take
+
+    # Step 1 inverse: concatenate and strip padding.
+    raw = b"".join(data_blocks)
+    if len(raw) < encoded.original_length:
+        raise VerificationError(
+            "extracted data shorter than original length", reason="extract"
+        )
+    return raw[: encoded.original_length]

@@ -1,0 +1,105 @@
+"""An object store holding encoded files.
+
+The store maps ``(file_id, segment_index)`` to stored segments and
+tracks which segments are "hot" in RAM versus on disk.  It is the piece
+the provider's storage servers are built on and the piece adversaries
+mutate (corrupt / delete / relocate).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BlockNotFoundError, ConfigurationError
+from repro.por.file_format import EncodedFile, Segment
+
+
+class ObjectStore:
+    """Segment-granular storage for encoded files."""
+
+    def __init__(self) -> None:
+        self._files: dict[bytes, dict[int, Segment]] = {}
+        self._meta: dict[bytes, EncodedFile] = {}
+
+    # -- ingest -----------------------------------------------------------
+
+    def put_file(self, encoded: EncodedFile) -> None:
+        """Store a whole encoded file (upload)."""
+        if encoded.file_id in self._files:
+            raise ConfigurationError(
+                f"file {encoded.file_id!r} already stored"
+            )
+        self._files[encoded.file_id] = {
+            segment.index: segment for segment in encoded.segments
+        }
+        self._meta[encoded.file_id] = encoded
+
+    def delete_file(self, file_id: bytes) -> None:
+        """Remove a file entirely."""
+        self._require(file_id)
+        del self._files[file_id]
+        del self._meta[file_id]
+
+    # -- access ------------------------------------------------------------
+
+    def _require(self, file_id: bytes) -> dict[int, Segment]:
+        segments = self._files.get(file_id)
+        if segments is None:
+            raise BlockNotFoundError(f"no such file: {file_id!r}")
+        return segments
+
+    def has_file(self, file_id: bytes) -> bool:
+        """True iff the file is stored here."""
+        return file_id in self._files
+
+    def n_segments(self, file_id: bytes) -> int:
+        """Segment count for a stored file."""
+        return len(self._require(file_id))
+
+    def get_segment(self, file_id: bytes, index: int) -> Segment:
+        """Fetch one segment; raises if the file or segment is missing."""
+        segments = self._require(file_id)
+        segment = segments.get(index)
+        if segment is None:
+            raise BlockNotFoundError(
+                f"segment {index} of file {file_id!r} not stored"
+            )
+        return segment
+
+    def file_ids(self) -> list[bytes]:
+        """All stored file ids."""
+        return list(self._files)
+
+    def file_meta(self, file_id: bytes) -> EncodedFile:
+        """The :class:`EncodedFile` container a file was ingested with.
+
+        Note the container reflects upload-time contents; per-segment
+        mutations live in the segment map, so prefer
+        :meth:`get_segment` for current data.
+        """
+        self._require(file_id)
+        return self._meta[file_id]
+
+    # -- mutation (adversary hooks) ------------------------------------------
+
+    def overwrite_segment(self, file_id: bytes, segment: Segment) -> None:
+        """Replace a segment in place (corruption primitive)."""
+        segments = self._require(file_id)
+        if segment.index not in segments:
+            raise BlockNotFoundError(
+                f"segment {segment.index} of file {file_id!r} not stored"
+            )
+        segments[segment.index] = segment
+
+    def drop_segment(self, file_id: bytes, index: int) -> None:
+        """Delete one segment (data-loss primitive)."""
+        segments = self._require(file_id)
+        if index not in segments:
+            raise BlockNotFoundError(
+                f"segment {index} of file {file_id!r} not stored"
+            )
+        del segments[index]
+
+    def segment_size_bytes(self, file_id: bytes) -> int:
+        """Stored size of one segment (uniform per file)."""
+        segments = self._require(file_id)
+        first = next(iter(segments.values()))
+        return first.size_bytes

@@ -1,0 +1,79 @@
+"""A byte-budgeted LRU cache.
+
+Used by the storage server to model RAM caching in front of the disk.
+Cache hits skip the seek+rotate cost entirely, which matters for the
+adversarial-prefetch ablation: a relaying provider could keep hot
+segments in RAM to beat the disk-latency term -- but the verifier draws
+challenge indices uniformly, so the hit rate is bounded by
+(cache size / file size), which the bench quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+
+class LRUCache:
+    """Least-recently-used cache with a byte capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ConfigurationError(
+                f"capacity must be >= 0, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[object, bytes] = OrderedDict()
+        self._used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._used_bytes
+
+    @property
+    def n_entries(self) -> int:
+        """Number of cached objects."""
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: object) -> bytes | None:
+        """Look up a key, refreshing its recency."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: object, value: bytes) -> None:
+        """Insert/refresh an entry, evicting LRU entries to fit.
+
+        Objects larger than the whole capacity are simply not cached.
+        """
+        if len(value) > self.capacity_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used_bytes -= len(old)
+        while self._used_bytes + len(value) > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used_bytes -= len(evicted)
+        self._entries[key] = value
+        self._used_bytes += len(value)
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        self._entries.clear()
+        self._used_bytes = 0
+        self.hits = 0
+        self.misses = 0

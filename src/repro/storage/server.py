@@ -1,0 +1,124 @@
+"""The storage server: lookups cost simulated disk time.
+
+A :class:`StorageServer` owns an :class:`~repro.storage.backend.ObjectStore`,
+an :class:`~repro.storage.hdd.HDDModel`, and an optional RAM cache.
+``lookup()`` returns both the segment and the *time the lookup took* --
+the Delta-t_L component of GeoProof's round-trip budget.
+
+Design note: the server reports time rather than advancing a global
+clock so that the same server can sit behind different channels (LAN in
+the honest case, LAN + Internet relay in the attack case) whose
+protocol engines do their own time accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import BlockNotFoundError
+from repro.por.file_format import Segment
+from repro.storage.backend import ObjectStore
+from repro.storage.cache import LRUCache
+from repro.storage.hdd import HDDModel, HDDSpec, WD_2500JD
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """A segment plus the simulated time the lookup took."""
+
+    segment: Segment
+    elapsed_ms: float
+    cache_hit: bool
+
+
+class StorageServer:
+    """A disk-backed segment server.
+
+    Parameters
+    ----------
+    disk:
+        The HDD spec (defaults to the paper's "average" WD 2500JD).
+    cache_bytes:
+        RAM cache capacity; 0 disables caching.
+    deterministic:
+        With True (default) every lookup costs exactly the datasheet
+        average (the paper's arithmetic); with False lookups are
+        sampled stochastically via ``rng``.
+    rng:
+        Randomness for stochastic lookups and queueing.
+    queue_delay_ms:
+        Fixed request-handling overhead per lookup (OS + controller).
+    """
+
+    def __init__(
+        self,
+        disk: HDDSpec = WD_2500JD,
+        *,
+        cache_bytes: int = 0,
+        deterministic: bool = True,
+        rng: DeterministicRNG | None = None,
+        queue_delay_ms: float = 0.0,
+    ) -> None:
+        self.store = ObjectStore()
+        self.disk = HDDModel(disk)
+        self.cache = LRUCache(cache_bytes) if cache_bytes > 0 else None
+        self.deterministic = deterministic
+        self._rng = rng
+        self.queue_delay_ms = queue_delay_ms
+        self.n_lookups = 0
+        self.total_disk_ms = 0.0
+
+    def lookup(self, file_id: bytes, index: int) -> LookupResult:
+        """Fetch a segment, accounting for disk or cache time."""
+        key = (file_id, index)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                segment = Segment.from_wire(cached)[0]
+                self.n_lookups += 1
+                return LookupResult(
+                    segment=segment,
+                    elapsed_ms=self.queue_delay_ms,
+                    cache_hit=True,
+                )
+        segment = self.store.get_segment(file_id, index)
+        n_bytes = segment.size_bytes
+        if self.deterministic or self._rng is None:
+            disk_ms = self.disk.lookup_ms(n_bytes)
+        else:
+            disk_ms = self.disk.sample_lookup_ms(self._rng, n_bytes)
+        self.n_lookups += 1
+        self.total_disk_ms += disk_ms
+        if self.cache is not None:
+            self.cache.put(key, segment.wire_bytes())
+        return LookupResult(
+            segment=segment,
+            elapsed_ms=self.queue_delay_ms + disk_ms,
+            cache_hit=False,
+        )
+
+    def prefetch(self, file_id: bytes, indices: list[int]) -> int:
+        """Pull segments into RAM ahead of time (adversary tactic).
+
+        Returns how many segments ended up cached.  No time is charged:
+        the attack model lets the adversary warm its cache between
+        audits for free.
+        """
+        if self.cache is None:
+            return 0
+        cached = 0
+        for index in indices:
+            try:
+                segment = self.store.get_segment(file_id, index)
+            except BlockNotFoundError:
+                continue
+            self.cache.put((file_id, index), segment.wire_bytes())
+            cached += 1
+        return cached
+
+    @property
+    def mean_disk_ms(self) -> float:
+        """Average disk time per (non-cached) lookup so far."""
+        misses = self.n_lookups if self.cache is None else self.cache.misses
+        return self.total_disk_ms / misses if misses else 0.0

@@ -1,0 +1,85 @@
+"""Experiment runners: the table/figure reproductions as testable facts."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    fig6_paper_bound_km,
+    fig6_relay_sweep,
+    fig6_tight_bound_km,
+    table1_hdd_latency,
+    table2_lan_latency,
+    table3_correlation,
+    table3_internet_latency,
+)
+
+
+class TestTable1:
+    def test_five_rows_sorted_by_latency(self):
+        rows = table1_hdd_latency()
+        assert len(rows) == 5
+        lookups = [r.lookup_ms for r in rows]
+        assert lookups == sorted(lookups)
+
+    def test_paper_values(self):
+        by_name = {r.name: r for r in table1_hdd_latency()}
+        assert by_name["WD 2500JD"].lookup_ms == pytest.approx(13.1055, abs=1e-3)
+        assert by_name["IBM 36Z15"].lookup_ms == pytest.approx(5.406, abs=1e-2)
+
+    def test_decomposition_sums(self):
+        for row in table1_hdd_latency():
+            assert row.lookup_ms == pytest.approx(
+                row.seek_ms + row.rotate_ms + row.transfer_ms
+            )
+
+
+class TestTable2:
+    def test_ten_rows_all_under_1ms(self):
+        rows = table2_lan_latency()
+        assert len(rows) == 10
+        assert all(r.under_1ms for r in rows)
+        assert all(r.rtt_ms < 1.0 for r in rows)
+
+    def test_deterministic_given_seed(self):
+        assert table2_lan_latency(seed="x") == table2_lan_latency(seed="x")
+
+
+class TestTable3:
+    def test_nine_rows(self):
+        assert len(table3_internet_latency()) == 9
+
+    def test_within_25_percent_of_paper(self):
+        for row in table3_internet_latency():
+            relative = abs(row.model_latency_ms - row.paper_latency_ms)
+            assert relative / row.paper_latency_ms < 0.25, row.url
+
+    def test_positive_correlation(self):
+        """The paper's conclusion for Table III."""
+        assert table3_correlation() > 0.95
+
+    def test_monotone_shape(self):
+        rows = table3_internet_latency()
+        ordered = sorted(rows, key=lambda r: r.paper_distance_km)
+        latencies = [r.model_latency_ms for r in ordered]
+        assert latencies == sorted(latencies)
+
+
+class TestFig6:
+    def test_paper_bound(self):
+        assert fig6_paper_bound_km() == pytest.approx(360.4, abs=0.5)
+
+    def test_tight_bound(self):
+        assert 700 < fig6_tight_bound_km() < 730
+
+    def test_margin_extends_bound(self):
+        assert fig6_tight_bound_km(margin_ms=5.0) > fig6_tight_bound_km()
+
+    def test_sweep_crossover(self):
+        """Honest local serving passes; every relay distance fails."""
+        rows = fig6_relay_sweep(distances_km=[0.0, 100.0, 500.0, 3000.0], k=8)
+        assert not rows[0].detected  # honest
+        assert all(r.detected for r in rows[1:])  # relays caught
+
+    def test_rtt_grows_with_distance(self):
+        rows = fig6_relay_sweep(distances_km=[100.0, 1000.0, 3000.0], k=5)
+        rtts = [r.max_rtt_ms for r in rows]
+        assert rtts == sorted(rtts)

@@ -1,0 +1,61 @@
+"""Table/series renderers."""
+
+import pytest
+
+from repro.analysis.reporting import format_comparison, format_series, format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert "2.500" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_decimals(self):
+        text = format_table(["v"], [[3.14159]], decimals=1)
+        assert "3.1" in text and "3.14" not in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+        with pytest.raises(ConfigurationError):
+            format_table(["a"], [[1, 2]])
+
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["long-name-here", 1], ["x", 22]])
+        lines = text.splitlines()
+        # All rows equal width per column -> same total length.
+        assert len(lines[2]) == len(lines[3]) or lines[3].endswith(("1", "2"))
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series("distance", "latency", [(100, 20.0), (200, 30.0)])
+        assert "distance" in text and "latency" in text
+        assert "30.000" in text
+
+
+class TestFormatComparison:
+    def test_reports_delta(self):
+        line = format_comparison("lookup", 13.1055, 13.1055, unit="ms")
+        assert "paper 13.105 ms" in line  # f-string half-even rounding
+        assert "+0.0%" in line
+
+    def test_relative_error(self):
+        line = format_comparison("bound", 360.0, 396.0)
+        assert "+10.0%" in line

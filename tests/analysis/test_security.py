@@ -1,0 +1,58 @@
+"""The aggregated deployment security report."""
+
+import pytest
+
+from repro.analysis.security import analyse_deployment
+from repro.cloud.sla import SLAPolicy
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import CircularRegion
+from repro.por.parameters import PORParams
+
+
+@pytest.fixture
+def sla(brisbane):
+    return SLAPolicy(region=CircularRegion(brisbane, 100.0))
+
+
+class TestAnalyseDeployment:
+    def test_paper_scale_deployment(self, sla):
+        """1M segments, 0.5 % corruption, 1000 rounds (Section V-C)."""
+        report = analyse_deployment(
+            n_segments=1_000_000,
+            sla=sla,
+            corruption_fraction=0.005,
+            k_rounds=1000,
+        )
+        assert 0.99 < report.per_challenge_detection < 0.995
+        assert report.detection_after_10_audits > 0.999999
+        assert report.irretrievability_bound < 1.0 / 200_000
+        assert report.rtt_max_ms == pytest.approx(sla.rtt_max_ms)
+        assert 650 < report.relay_bound_km < 750
+
+    def test_default_k_from_sla(self, sla):
+        report = analyse_deployment(n_segments=1000, sla=sla)
+        assert report.k_rounds == sla.min_rounds
+
+    def test_margin_headroom(self, brisbane):
+        padded = SLAPolicy(
+            region=CircularRegion(brisbane, 100.0), margin_ms=3.0
+        )
+        report = analyse_deployment(n_segments=1000, sla=padded)
+        assert report.margin_headroom_km == pytest.approx(200.0, abs=1.0)
+
+    def test_summary_lines_mention_key_numbers(self, sla):
+        report = analyse_deployment(n_segments=1000, sla=sla)
+        text = "\n".join(report.summary_lines())
+        assert "Delta-t_max" in text
+        assert "relay distance bound" in text
+
+    def test_validation(self, sla):
+        with pytest.raises(ConfigurationError):
+            analyse_deployment(n_segments=0, sla=sla)
+        with pytest.raises(ConfigurationError):
+            analyse_deployment(n_segments=10, sla=sla, corruption_fraction=1.5)
+
+    def test_k_capped_by_segments(self, sla):
+        report = analyse_deployment(n_segments=10, sla=sla, k_rounds=100)
+        assert 0.0 <= report.per_challenge_detection <= 1.0

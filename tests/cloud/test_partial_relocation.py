@@ -1,0 +1,86 @@
+"""The partial-relocation adversary and the max-gate argument."""
+
+import pytest
+
+from repro.cloud.adversary import PartialRelocationAttack
+from repro.cloud.provider import DataCentre
+from repro.crypto.rng import DeterministicRNG
+from repro.geo.datasets import city
+from repro.storage.hdd import IBM_36Z15
+from tests.conftest import build_session
+
+
+def relocated_session(local_fraction, seed="partial"):
+    session, file_id, _ = build_session(seed)
+    session.provider.add_datacentre(
+        DataCentre("remote", city("singapore"), disk=IBM_36Z15)
+    )
+    session.provider.relocate(file_id, "remote")
+    attack = PartialRelocationAttack(
+        "home", "remote", local_fraction, DeterministicRNG(f"{seed}-adv")
+    )
+    session.provider.set_strategy(attack)
+    return session, file_id, attack
+
+
+class TestServingSplit:
+    def test_hot_segments_served_fast(self):
+        session, file_id, attack = relocated_session(0.5)
+        local = attack.local_indices(session.provider, file_id)
+        hot = next(iter(local))
+        result = session.provider.handle_request(file_id, hot)
+        assert "hot" in result.served_by
+        assert result.elapsed_ms < 16.0
+
+    def test_cold_segments_relayed_slow(self):
+        session, file_id, attack = relocated_session(0.5)
+        n = session.files[file_id].n_segments
+        local = attack.local_indices(session.provider, file_id)
+        cold = next(i for i in range(n) if i not in local)
+        result = session.provider.handle_request(file_id, cold)
+        assert "->" in result.served_by
+        assert result.elapsed_ms > 50.0
+
+    def test_local_set_size(self):
+        session, file_id, attack = relocated_session(0.25)
+        n = session.files[file_id].n_segments
+        assert len(attack.local_indices(session.provider, file_id)) == round(0.25 * n)
+
+
+class TestDetection:
+    def test_detection_rate_tracks_one_minus_fraction_power_k(self):
+        """P(caught) = 1 - local_fraction^k, the max-gate guarantee."""
+        session, file_id, _ = relocated_session(0.8, seed="partial-stats")
+        k, trials = 10, 25
+        detected = sum(
+            1
+            for _ in range(trials)
+            if not session.audit(file_id, k=k).verdict.accepted
+        )
+        theory = 1.0 - 0.8**k  # ~0.89
+        assert detected / trials == pytest.approx(theory, abs=0.2)
+
+    def test_mostly_local_still_caught_with_enough_rounds(self):
+        # 95 % local: one audit with k = 100 -> P(escape) = 0.95^100 ~ 0.6%.
+        session, file_id, _ = relocated_session(0.95, seed="partial-95")
+        outcome = session.audit(file_id, k=100)
+        assert not outcome.verdict.accepted
+        assert "timing" in outcome.verdict.failure_reasons
+
+    def test_mean_rtt_hides_what_max_reveals(self):
+        """The ablation's point: with 90 % local, the mean round time
+        stays near-honest while the max screams."""
+        session, file_id, _ = relocated_session(0.9, seed="partial-mean")
+        outcome = session.audit(file_id, k=40)
+        transcript = outcome.transcript
+        honest_round = 13.5
+        assert transcript.mean_rtt_ms < 3.0 * honest_round
+        assert transcript.max_rtt_ms > 5.0 * honest_round
+
+    def test_full_local_fraction_is_honest_relay_free(self):
+        session, file_id, _ = relocated_session(1.0, seed="partial-full")
+        outcome = session.audit(file_id, k=15)
+        # Everything served at front disk speed -> passes timing.  (The
+        # data is still *stored* remotely: this is the cache-limit
+        # caveat, same as the full-prefetch case.)
+        assert outcome.verdict.timing_ok

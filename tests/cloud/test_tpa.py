@@ -1,0 +1,70 @@
+"""The third-party auditor: registration, audits, reporting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from tests.conftest import build_session
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        session, file_id, _ = build_session("tpa-dup")
+        record = session.files[file_id]
+        with pytest.raises(ConfigurationError):
+            session.tpa.register_file(
+                file_id,
+                record.n_segments,
+                record.keys.mac_key,
+                session.params,
+                session.sla,
+            )
+
+    def test_unknown_file(self):
+        session, _, _ = build_session("tpa-unknown")
+        with pytest.raises(ConfigurationError):
+            session.tpa.record(b"ghost")
+
+
+class TestAuditing:
+    def test_honest_audit_accepted_and_logged(self):
+        session, file_id, _ = build_session("tpa-honest")
+        outcome = session.audit(file_id, k=10)
+        assert outcome.verdict.accepted
+        assert session.tpa.audit_log == [outcome]
+        assert outcome.duration_ms > 0
+
+    def test_default_k_from_sla(self):
+        session, file_id, _ = build_session("tpa-defaults")
+        outcome = session.audit(file_id)
+        assert outcome.request.k == session.sla.min_rounds
+
+    def test_nonces_are_fresh(self):
+        session, file_id, _ = build_session("tpa-nonce")
+        a = session.audit(file_id, k=5)
+        b = session.audit(file_id, k=5)
+        assert a.request.nonce != b.request.nonce
+
+    def test_rtt_override(self):
+        session, file_id, _ = build_session("tpa-override")
+        strict = session.audit(file_id, k=5, rtt_max_ms=0.001)
+        assert not strict.verdict.accepted
+        assert "timing" in strict.verdict.failure_reasons
+
+
+class TestReporting:
+    def test_acceptance_rate(self):
+        session, file_id, _ = build_session("tpa-rate")
+        session.audit(file_id, k=5)
+        session.audit(file_id, k=5, rtt_max_ms=0.001)  # forced reject
+        assert session.tpa.acceptance_rate() == pytest.approx(0.5)
+
+    def test_empty_log_rate(self):
+        session, _, _ = build_session("tpa-empty")
+        assert session.tpa.acceptance_rate() == 0.0
+
+    def test_failures_by_reason(self):
+        session, file_id, _ = build_session("tpa-hist")
+        session.audit(file_id, k=5, rtt_max_ms=0.001)
+        session.audit(file_id, k=5, rtt_max_ms=0.001)
+        histogram = session.tpa.failures_by_reason()
+        assert histogram.get("timing") == 2

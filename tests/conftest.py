@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+Small, fast parameter sets are the default everywhere: TEST_PARAMS uses
+4-byte blocks and RS(15, 11) so a full setup pipeline runs in
+milliseconds, while the (slower) paper parameters are exercised by a
+handful of dedicated tests and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRNG
+from repro.geo.coords import GeoPoint
+from repro.por.parameters import TEST_PARAMS
+from repro.por.setup import PORKeys
+
+
+@pytest.fixture
+def rng() -> DeterministicRNG:
+    """A fresh deterministic RNG per test."""
+    return DeterministicRNG("test-fixture-seed")
+
+
+@pytest.fixture
+def keys() -> PORKeys:
+    """POR keys derived from a fixed master key."""
+    return PORKeys.derive(b"master-key-0123456789abcdef-fixture")
+
+
+@pytest.fixture
+def small_params():
+    """The fast test parameter set (4-byte blocks, RS(15, 11))."""
+    return TEST_PARAMS
+
+
+@pytest.fixture
+def brisbane() -> GeoPoint:
+    """The paper's home location."""
+    return GeoPoint(-27.4698, 153.0251, "Brisbane")
+
+
+@pytest.fixture
+def sample_data(rng) -> bytes:
+    """20 kB of pseudorandom file data."""
+    return rng.fork("sample-data").random_bytes(20_000)
+
+
+def build_session(seed: str = "session", file_bytes: int = 20_000):
+    """Build a ready-to-audit session with one outsourced file.
+
+    Shared by cloud/core/integration tests; returns (session, file_id,
+    original_data).
+    """
+    from repro.core.session import GeoProofSession
+
+    session = GeoProofSession.build(
+        datacentre_location=GeoPoint(-27.4698, 153.0251),
+        params=TEST_PARAMS,
+        seed=seed,
+    )
+    data = DeterministicRNG(f"{seed}-data").random_bytes(file_bytes)
+    session.outsource(b"test-file", data)
+    return session, b"test-file", data

@@ -1,0 +1,145 @@
+"""GeoProof over dynamic data (the Section IV extension)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.dynamic_session import (
+    DynamicGeoProofSession,
+    DynamicTimedRound,
+    DynamicTranscript,
+    dynamic_rtt_budget,
+)
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import ConfigurationError
+from repro.geo.datasets import city
+from repro.geo.regions import CircularRegion
+
+
+@pytest.fixture
+def session(brisbane):
+    session = DynamicGeoProofSession(
+        datacentre_location=brisbane,
+        region=CircularRegion(brisbane, 100.0),
+        block_bytes=512,
+        seed="dyn-tests",
+    )
+    data = DeterministicRNG("dyn-data").random_bytes(50_000)
+    session.outsource(b"dyn-file", data)
+    return session
+
+
+class TestBudgetCalibration:
+    def test_payload_term_grows_with_file_size(self):
+        small = dynamic_rtt_budget(64, 512)
+        large = dynamic_rtt_budget(1_000_000, 512)
+        assert large.rtt_max_ms > small.rtt_max_ms
+
+    def test_growth_is_logarithmic(self):
+        """Doubling n adds one tree level: a constant budget increment."""
+        budgets = [
+            dynamic_rtt_budget(n, 512).rtt_max_ms for n in (2**10, 2**11, 2**12)
+        ]
+        first_step = budgets[1] - budgets[0]
+        second_step = budgets[2] - budgets[1]
+        assert first_step == pytest.approx(second_step, rel=0.01)
+        assert first_step > 0
+
+    def test_validates_n(self):
+        with pytest.raises(ConfigurationError):
+            dynamic_rtt_budget(0, 512)
+
+
+class TestHonestAudit:
+    def test_accepted(self, session):
+        transcript, verdict = session.run_audit(20)
+        assert verdict.accepted
+        assert transcript.max_rtt_ms <= verdict.rtt_max_ms
+        assert len(transcript.rounds) == 20
+
+    def test_audit_survives_updates(self, session):
+        session.update_block(3, b"A" * 512)
+        session.update_block(17, b"B" * 512)
+        _, verdict = session.run_audit(20)
+        assert verdict.accepted
+
+    def test_round_payload_includes_path(self, session):
+        transcript, _ = session.run_audit(5)
+        for round_ in transcript.rounds:
+            assert round_.payload_bytes > 512  # block + tag + path
+
+    def test_fresh_challenges_per_audit(self, session):
+        a, _ = session.run_audit(10)
+        b, _ = session.run_audit(10)
+        assert [r.index for r in a.rounds] != [r.index for r in b.rounds]
+
+
+class TestAttacks:
+    def test_relay_delay_caught(self, session):
+        session.injected_delay_ms = 40.0
+        _, verdict = session.run_audit(10)
+        assert not verdict.accepted
+        assert verdict.failure_reasons == ["timing"]
+
+    def test_tampered_block_caught(self, session):
+        session.server.blocks[5] = b"\x00" * 512  # rot without retag
+        transcript, verdict = session.run_audit(
+            session.client.n_blocks
+        )  # challenge everything -> must hit block 5
+        assert not verdict.accepted
+        assert "proof" in verdict.failure_reasons
+        assert 5 in verdict.bad_indices
+
+    def test_transcript_tamper_breaks_signature(self, session):
+        transcript, _ = session.run_audit(5)
+        slow = dataclasses.replace(
+            transcript,
+            rounds=tuple(
+                dataclasses.replace(r, rtt_ms=0.01) for r in transcript.rounds
+            ),
+        )
+        verdict = session.verify(slow)
+        assert not verdict.signature_ok
+
+    def test_device_outside_region_caught(self, brisbane):
+        session = DynamicGeoProofSession(
+            datacentre_location=city("singapore"),
+            region=CircularRegion(brisbane, 100.0),
+            block_bytes=512,
+            seed="dyn-region",
+        )
+        session.outsource(b"f", b"data" * 1000)
+        _, verdict = session.run_audit(5)
+        assert not verdict.accepted
+        assert "gps" in verdict.failure_reasons
+
+
+class TestValidation:
+    def test_single_file_per_session(self, session):
+        with pytest.raises(ConfigurationError):
+            session.outsource(b"second", b"data")
+
+    def test_update_length_checked(self, session):
+        with pytest.raises(ConfigurationError):
+            session.update_block(0, b"short")
+
+    def test_audit_requires_outsource(self, brisbane):
+        empty = DynamicGeoProofSession(
+            datacentre_location=brisbane,
+            region=CircularRegion(brisbane, 100.0),
+        )
+        with pytest.raises(ConfigurationError):
+            empty.run_audit(5)
+
+    def test_wire_encoding_binds_path(self, session):
+        transcript, _ = session.run_audit(1)
+        round_ = transcript.rounds[0]
+        flipped_path = tuple(
+            (sibling, not is_right) for sibling, is_right in round_.proof.path
+        )
+        forged = DynamicTimedRound(
+            index=round_.index,
+            proof=dataclasses.replace(round_.proof, path=flipped_path),
+            rtt_ms=round_.rtt_ms,
+        )
+        assert forged.wire_bytes() != round_.wire_bytes()

@@ -1,0 +1,66 @@
+"""HKDF against the RFC 5869 test vectors plus derive_subkeys tests."""
+
+import pytest
+
+from repro.crypto.kdf import derive_subkeys, hkdf, hkdf_expand, hkdf_extract
+from repro.errors import ConfigurationError
+
+
+class TestRFC5869Vectors:
+    """Appendix A of RFC 5869 (SHA-256 cases)."""
+
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_3_empty_salt_and_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, salt=b"", info=b"", length=42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestHKDFValidation:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            hkdf(b"ikm", length=0)
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ConfigurationError):
+            hkdf(b"ikm", length=255 * 32 + 1)
+
+    def test_max_length_works(self):
+        assert len(hkdf(b"ikm", length=255 * 32)) == 255 * 32
+
+
+class TestDeriveSubkeys:
+    def test_distinct_labels_distinct_keys(self):
+        subkeys = derive_subkeys(b"master" * 4, ["enc", "perm", "mac"])
+        assert len({subkeys["enc"], subkeys["perm"], subkeys["mac"]}) == 3
+
+    def test_deterministic(self):
+        a = derive_subkeys(b"master" * 4, ["enc"])
+        b = derive_subkeys(b"master" * 4, ["enc"])
+        assert a == b
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ConfigurationError):
+            derive_subkeys(b"master" * 4, ["enc", "enc"])
+
+    def test_custom_length(self):
+        subkeys = derive_subkeys(b"master" * 4, ["x"], length=16)
+        assert len(subkeys["x"]) == 16

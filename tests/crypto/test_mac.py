@@ -1,0 +1,59 @@
+"""Tests for truncated segment MACs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.mac import mac_tag, mac_verify
+from repro.errors import ConfigurationError
+
+
+class TestMacTag:
+    def test_default_20_bits_is_3_bytes(self):
+        tag = mac_tag(b"key", b"segment", 0, b"fid")
+        assert len(tag) == 3
+
+    def test_20_bit_tag_masks_trailing_bits(self):
+        tag = mac_tag(b"key", b"segment", 0, b"fid", tag_bits=20)
+        assert tag[-1] & 0x0F == 0  # low 4 bits of byte 3 must be zero
+
+    def test_full_width_tag(self):
+        tag = mac_tag(b"key", b"segment", 0, b"fid", tag_bits=256)
+        assert len(tag) == 32
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ConfigurationError):
+            mac_tag(b"key", b"segment", 0, b"fid", tag_bits=0)
+
+    def test_index_binding(self):
+        assert mac_tag(b"k", b"s", 1, b"f") != mac_tag(b"k", b"s", 2, b"f")
+
+    def test_file_binding(self):
+        assert mac_tag(b"k", b"s", 1, b"f1") != mac_tag(b"k", b"s", 1, b"f2")
+
+    def test_no_concatenation_ambiguity(self):
+        # (segment="ab", fid="c") must differ from (segment="a", fid="bc").
+        assert mac_tag(b"k", b"ab", 0, b"c") != mac_tag(b"k", b"a", 0, b"bc")
+
+
+class TestMacVerify:
+    @given(st.binary(max_size=64), st.integers(0, 2**32), st.binary(max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_verifies_own_tags(self, segment, index, fid):
+        tag = mac_tag(b"key", segment, index, fid)
+        assert mac_verify(b"key", segment, index, fid, tag)
+
+    def test_rejects_wrong_key(self):
+        tag = mac_tag(b"key-a", b"segment", 5, b"fid")
+        assert not mac_verify(b"key-b", b"segment", 5, b"fid", tag)
+
+    def test_rejects_tampered_segment(self):
+        tag = mac_tag(b"key", b"segment", 5, b"fid")
+        assert not mac_verify(b"key", b"segmenT", 5, b"fid", tag)
+
+    def test_rejects_shifted_index(self):
+        tag = mac_tag(b"key", b"segment", 5, b"fid")
+        assert not mac_verify(b"key", b"segment", 6, b"fid", tag)
+
+    def test_rejects_wrong_length_tag(self):
+        tag = mac_tag(b"key", b"segment", 5, b"fid")
+        assert not mac_verify(b"key", b"segment", 5, b"fid", tag + b"\x00")

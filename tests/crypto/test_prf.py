@@ -1,0 +1,65 @@
+"""Tests for the HMAC-SHA256 PRF wrappers."""
+
+import hashlib
+import hmac
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prf import prf, prf_int, prf_stream
+from repro.errors import ConfigurationError
+
+
+class TestPRF:
+    def test_matches_hmac_construction(self):
+        key, label, message = b"k", b"label", b"msg"
+        expected = hmac.new(key, b"label\x00msg", hashlib.sha256).digest()
+        assert prf(key, label, message) == expected
+
+    def test_rejects_nul_in_label(self):
+        with pytest.raises(ConfigurationError):
+            prf(b"k", b"bad\x00label", b"m")
+
+    def test_label_separates_domains(self):
+        assert prf(b"k", b"a", b"m") != prf(b"k", b"b", b"m")
+
+    def test_deterministic(self):
+        assert prf(b"k", b"l", b"m") == prf(b"k", b"l", b"m")
+
+
+class TestPRFStream:
+    def test_length_exact(self):
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(prf_stream(b"k", b"l", b"m", n)) == n
+
+    def test_prefix_consistency(self):
+        long = prf_stream(b"k", b"l", b"m", 100)
+        short = prf_stream(b"k", b"l", b"m", 40)
+        assert long[:40] == short
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ConfigurationError):
+            prf_stream(b"k", b"l", b"m", -1)
+
+
+class TestPRFInt:
+    def test_upper_one_is_zero(self):
+        assert prf_int(b"k", b"l", b"m", 1) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            prf_int(b"k", b"l", b"m", 0)
+
+    @given(st.integers(2, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_in_range(self, upper):
+        value = prf_int(b"key", b"label", upper.to_bytes(4, "big"), upper)
+        assert 0 <= value < upper
+
+    def test_roughly_uniform(self):
+        # Chi-squared-style sanity: 1000 draws over 10 buckets should
+        # not concentrate pathologically.
+        counts = [0] * 10
+        for i in range(1000):
+            counts[prf_int(b"k", b"l", i.to_bytes(4, "big"), 10)] += 1
+        assert all(60 <= c <= 140 for c in counts), counts

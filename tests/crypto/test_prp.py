@@ -1,0 +1,86 @@
+"""Bijectivity and inversion properties of the Feistel PRP."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prp import BlockPermutation, FeistelPRP
+from repro.errors import ConfigurationError
+
+
+class TestFeistelPRP:
+    def test_domain_size(self):
+        assert FeistelPRP(b"k", 4).domain_size == 256
+
+    def test_rejects_few_rounds(self):
+        with pytest.raises(ConfigurationError):
+            FeistelPRP(b"k", 4, rounds=3)
+
+    def test_bijective_on_small_domain(self):
+        prp = FeistelPRP(b"key", 4)
+        images = sorted(prp.forward(x) for x in range(256))
+        assert images == list(range(256))
+
+    def test_inverse(self):
+        prp = FeistelPRP(b"key", 5)
+        for x in range(0, prp.domain_size, 37):
+            assert prp.inverse(prp.forward(x)) == x
+
+    def test_out_of_domain(self):
+        prp = FeistelPRP(b"key", 4)
+        with pytest.raises(ConfigurationError):
+            prp.forward(256)
+
+    def test_key_sensitivity(self):
+        a = FeistelPRP(b"key-a", 8)
+        b = FeistelPRP(b"key-b", 8)
+        differing = sum(1 for x in range(100) if a.forward(x) != b.forward(x))
+        assert differing > 90
+
+
+class TestBlockPermutation:
+    @given(st.integers(1, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_bijective(self, n):
+        perm = BlockPermutation(b"key", n)
+        assert sorted(perm.forward(i) for i in range(n)) == list(range(n))
+
+    @given(st.integers(1, 500), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_inverse(self, n, data):
+        perm = BlockPermutation(b"key", n)
+        i = data.draw(st.integers(0, n - 1))
+        assert perm.inverse(perm.forward(i)) == i
+        assert perm.forward(perm.inverse(i)) == i
+
+    def test_permute_list_roundtrip(self):
+        perm = BlockPermutation(b"key", 50)
+        items = [f"item-{i}" for i in range(50)]
+        assert perm.unpermute_list(perm.permute_list(items)) == items
+
+    def test_permute_list_moves_elements(self):
+        perm = BlockPermutation(b"key", 100)
+        items = list(range(100))
+        shuffled = perm.permute_list(items)
+        assert shuffled != items  # astronomically unlikely to be identity
+        assert sorted(shuffled) == items
+
+    def test_permute_list_length_check(self):
+        perm = BlockPermutation(b"key", 10)
+        with pytest.raises(ConfigurationError):
+            perm.permute_list([1, 2, 3])
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ConfigurationError):
+            BlockPermutation(b"key", 0)
+
+    def test_singleton_domain(self):
+        perm = BlockPermutation(b"key", 1)
+        assert perm.forward(0) == 0
+        assert perm.inverse(0) == 0
+
+    def test_key_changes_permutation(self):
+        a = BlockPermutation(b"key-a", 200)
+        b = BlockPermutation(b"key-b", 200)
+        assert [a.forward(i) for i in range(200)] != [
+            b.forward(i) for i in range(200)
+        ]

@@ -1,0 +1,160 @@
+"""Attack simulators versus the protocols: who falls to what."""
+
+import pytest
+
+from repro.crypto.prf import prf_stream
+from repro.crypto.rng import DeterministicRNG
+from repro.distbound.analysis import hancke_kuhn_false_accept
+from repro.distbound.attacks import (
+    DistanceFraudProver,
+    MafiaFraudRelay,
+    TerroristAccomplice,
+    leak_hancke_kuhn_registers,
+    leak_reid_registers,
+)
+from repro.distbound.base import TimedChannel
+from repro.distbound.hancke_kuhn import HanckeKuhnProver, HanckeKuhnVerifier
+from repro.netsim.clock import SimClock
+from repro.netsim.latency import RFChannelModel
+
+SECRET = b"shared-secret-for-attack-tests"
+
+
+def rf_channel(distance_km: float) -> TimedChannel:
+    return TimedChannel(SimClock(), RFChannelModel(), distance_km)
+
+
+class RelayAdapter:
+    """Wire a MafiaFraudRelay into the verifier's prover API."""
+
+    def __init__(self, relay: MafiaFraudRelay, honest_prover):
+        self.identity = honest_prover.identity
+        self._relay = relay
+        self._honest = honest_prover
+
+    def begin_session(self, verifier_nonce, prover_nonce, n_rounds):
+        self._relay.begin_session(verifier_nonce, prover_nonce, n_rounds)
+        self._relay.learn_from_prover(self._honest)
+
+    def respond(self, challenge_bit):
+        return self._relay.respond(challenge_bit)
+
+
+class AccompliceAdapter:
+    """Terrorist accomplice with leaked Hancke-Kuhn registers."""
+
+    def __init__(self, accomplice: TerroristAccomplice, secret: bytes):
+        self.identity = b"P"
+        self._accomplice = accomplice
+        self._secret = secret
+
+    def begin_session(self, verifier_nonce, prover_nonce, n_rounds):
+        left, right = leak_hancke_kuhn_registers(
+            self._secret, verifier_nonce, prover_nonce, n_rounds
+        )
+        self._accomplice.receive_leak(left, right)
+
+    def respond(self, challenge_bit):
+        return self._accomplice.respond(challenge_bit)
+
+
+class TestMafiaFraud:
+    def test_acceptance_rate_matches_three_quarters_power_n(self):
+        """Empirical mafia-fraud success must track (3/4)^n."""
+        n_rounds, trials = 6, 400
+        accepts = 0
+        master = DeterministicRNG("mafia-stats")
+        for trial in range(trials):
+            rng = master.fork(f"t{trial}")
+            verifier = HanckeKuhnVerifier(
+                b"V", SECRET, n_rounds=n_rounds, rtt_max_ms=0.1
+            )
+            relay = MafiaFraudRelay(b"R", rng.fork("relay"))
+            adapter = RelayAdapter(relay, HanckeKuhnProver(b"P", SECRET))
+            result = verifier.run(adapter, rf_channel(0.5), rng.fork("run"))
+            accepts += result.accepted
+        rate = accepts / trials
+        theory = hancke_kuhn_false_accept(n_rounds)  # 0.178
+        assert abs(rate - theory) < 0.06, (rate, theory)
+
+    def test_relay_timing_passes(self):
+        """The relay is close, so only bits can betray it."""
+        rng = DeterministicRNG("mafia-one")
+        verifier = HanckeKuhnVerifier(b"V", SECRET, n_rounds=16, rtt_max_ms=0.1)
+        relay = MafiaFraudRelay(b"R", rng.fork("relay"))
+        adapter = RelayAdapter(relay, HanckeKuhnProver(b"P", SECRET))
+        result = verifier.run(adapter, rf_channel(0.5), rng.fork("run"))
+        assert result.timing_ok
+
+    def test_long_protocol_defeats_relay(self):
+        rng = DeterministicRNG("mafia-long")
+        verifier = HanckeKuhnVerifier(b"V", SECRET, n_rounds=64, rtt_max_ms=0.1)
+        relay = MafiaFraudRelay(b"R", rng.fork("relay"))
+        adapter = RelayAdapter(relay, HanckeKuhnProver(b"P", SECRET))
+        result = verifier.run(adapter, rf_channel(0.5), rng.fork("run"))
+        assert not result.accepted  # (3/4)^64 ~ 1e-8
+
+
+class TestDistanceFraud:
+    def test_far_prover_cannot_beat_physics(self):
+        # Even answering with zero processing, a far prover's RTT is
+        # bounded below by the flight time the channel charges.
+        rng = DeterministicRNG("df")
+        verifier = HanckeKuhnVerifier(b"V", SECRET, n_rounds=16, rtt_max_ms=0.1)
+        fraudster = DistanceFraudProver(b"P", SECRET, rng.fork("adv"))
+        result = verifier.run(fraudster, rf_channel(100.0), rng.fork("run"))
+        assert not result.timing_ok
+
+    def test_committed_bits_cost_correctness(self):
+        # At close range timing passes but pre-committed bits are wrong
+        # with probability ~ 1/4 per round.
+        trials, n_rounds = 300, 8
+        master = DeterministicRNG("df-stats")
+        accepts = 0
+        for trial in range(trials):
+            rng = master.fork(f"t{trial}")
+            verifier = HanckeKuhnVerifier(
+                b"V", SECRET, n_rounds=n_rounds, rtt_max_ms=0.1
+            )
+            fraudster = DistanceFraudProver(b"P", SECRET, rng.fork("adv"))
+            result = verifier.run(fraudster, rf_channel(0.5), rng.fork("run"))
+            accepts += result.accepted
+        rate = accepts / trials
+        theory = 0.75**n_rounds
+        assert abs(rate - theory) < 0.07, (rate, theory)
+
+
+class TestTerroristAttack:
+    def test_hancke_kuhn_falls(self):
+        """Leaked HK registers let the accomplice pass every round."""
+        rng = DeterministicRNG("terrorist-hk")
+        verifier = HanckeKuhnVerifier(b"V", SECRET, n_rounds=32, rtt_max_ms=0.1)
+        adapter = AccompliceAdapter(TerroristAccomplice(b"A"), SECRET)
+        result = verifier.run(adapter, rf_channel(0.5), rng)
+        assert result.accepted  # the attack the paper attributes to HK
+
+    def test_hk_leak_reveals_nothing_about_secret(self):
+        # The leaked registers are PRF outputs; leaking them does not
+        # equal leaking the long-term secret (that asymmetry is WHY a
+        # rational HK prover cooperates).
+        left, right = leak_hancke_kuhn_registers(SECRET, b"n1", b"n2", 32)
+        assert SECRET not in left + right
+
+    def test_reid_leak_surrenders_credential(self):
+        """Reid registers jointly reveal the expanded secret."""
+        cipher_register, key_register = leak_reid_registers(
+            SECRET, b"V", b"P", b"n1", b"n2", 32
+        )
+        recovered = TerroristAccomplice.reconstruct_secret_bits(
+            cipher_register, key_register
+        )
+        expected = prf_stream(SECRET, b"reid-secret-expand", b"", len(cipher_register))
+        assert recovered == expected
+
+    def test_accomplice_requires_leak(self):
+        from repro.errors import ConfigurationError
+
+        accomplice = TerroristAccomplice(b"A")
+        accomplice.begin_session()
+        with pytest.raises(ConfigurationError):
+            accomplice.respond(0)

@@ -1,0 +1,128 @@
+"""Distance-bounding framework: channels, transcripts, verdicts."""
+
+import pytest
+
+from repro.distbound.base import (
+    RoundRecord,
+    TimedChannel,
+    Transcript,
+    rtt_to_distance_km,
+    run_timed_phase,
+    verdict,
+)
+from repro.errors import ConfigurationError
+from repro.netsim.clock import SimClock
+from repro.netsim.latency import RFChannelModel
+
+
+def make_transcript(rounds):
+    transcript = Transcript(
+        protocol="test",
+        verifier_id=b"V",
+        prover_id=b"P",
+        verifier_nonce=b"n1",
+        prover_nonce=b"n2",
+    )
+    transcript.rounds.extend(rounds)
+    return transcript
+
+
+class TestRttToDistance:
+    def test_light_speed(self):
+        assert rtt_to_distance_km(1.0) == pytest.approx(150.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            rtt_to_distance_km(-1.0)
+
+
+class TestTimedChannel:
+    def test_exchange_charges_flight_time(self):
+        clock = SimClock()
+        channel = TimedChannel(clock, RFChannelModel(), 300.0)
+        bit, rtt = channel.exchange(lambda c: (c, 0.0), 1)
+        assert bit == 1
+        assert rtt == pytest.approx(2.0)  # 300 km at 300 km/ms, both ways
+
+    def test_processing_time_included(self):
+        clock = SimClock()
+        channel = TimedChannel(clock, RFChannelModel(), 0.0)
+        _, rtt = channel.exchange(lambda c: (c, 0.7), 0)
+        assert rtt == pytest.approx(0.7)
+
+    def test_rejects_negative_processing(self):
+        channel = TimedChannel(SimClock(), RFChannelModel(), 1.0)
+        with pytest.raises(ConfigurationError):
+            channel.exchange(lambda c: (c, -0.1), 0)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            TimedChannel(SimClock(), RFChannelModel(), -1.0)
+
+    def test_clock_advances_monotonically(self):
+        clock = SimClock()
+        channel = TimedChannel(clock, RFChannelModel(), 150.0)
+        channel.exchange(lambda c: (c, 0.0), 0)
+        t1 = clock.now_ms()
+        channel.exchange(lambda c: (c, 0.0), 1)
+        assert clock.now_ms() > t1
+
+
+class TestRunTimedPhase:
+    def test_records_every_round(self):
+        channel = TimedChannel(SimClock(), RFChannelModel(), 30.0)
+        transcript = make_transcript([])
+        run_timed_phase(channel, [0, 1, 1, 0], lambda c: (1 - c, 0.0), transcript)
+        assert transcript.n_rounds == 4
+        assert [r.challenge_bit for r in transcript.rounds] == [0, 1, 1, 0]
+        assert [r.response_bit for r in transcript.rounds] == [1, 0, 0, 1]
+
+    def test_rejects_non_bit_challenge(self):
+        channel = TimedChannel(SimClock(), RFChannelModel(), 1.0)
+        with pytest.raises(ConfigurationError):
+            run_timed_phase(channel, [2], lambda c: (c, 0.0), make_transcript([]))
+
+
+class TestVerdict:
+    def test_accepts_clean_transcript(self):
+        rounds = [RoundRecord(i, i % 2, i % 2, 0.5) for i in range(8)]
+        result = verdict(make_transcript(rounds), lambda i, c: c, 1.0)
+        assert result.accepted
+        assert result.n_bit_errors == 0
+        assert result.n_timing_violations == 0
+
+    def test_rejects_bit_error(self):
+        rounds = [RoundRecord(0, 1, 0, 0.5)]
+        result = verdict(make_transcript(rounds), lambda i, c: c, 1.0)
+        assert not result.accepted
+        assert result.bits_ok is False
+        assert result.timing_ok is True
+
+    def test_rejects_slow_round(self):
+        rounds = [RoundRecord(0, 1, 1, 1.5)]
+        result = verdict(make_transcript(rounds), lambda i, c: c, 1.0)
+        assert not result.accepted
+        assert result.timing_ok is False
+        assert result.bits_ok is True
+
+    def test_single_slow_round_fails_everything(self):
+        # The paper checks the MAX time, so one slow round is fatal.
+        rounds = [RoundRecord(i, 0, 0, 0.1) for i in range(9)]
+        rounds.append(RoundRecord(9, 0, 0, 2.0))
+        result = verdict(make_transcript(rounds), lambda i, c: c, 1.0)
+        assert not result.accepted
+        assert result.n_timing_violations == 1
+        assert result.max_rtt_ms == 2.0
+
+    def test_implied_distance(self):
+        rounds = [RoundRecord(0, 0, 0, 1.0)]
+        result = verdict(make_transcript(rounds), lambda i, c: c, 2.0)
+        assert result.implied_distance_km == pytest.approx(150.0)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            verdict(make_transcript([RoundRecord(0, 0, 0, 1.0)]), lambda i, c: c, 0.0)
+
+    def test_empty_transcript_max_rtt_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_transcript([]).max_rtt_ms

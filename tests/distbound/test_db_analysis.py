@@ -1,0 +1,59 @@
+"""Closed-form distance-bounding security bounds."""
+
+import pytest
+
+from repro.distbound.analysis import (
+    brands_chaum_false_accept,
+    hancke_kuhn_false_accept,
+    rounds_for_security,
+    timing_margin_distance_km,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFalseAcceptFormulas:
+    def test_hancke_kuhn(self):
+        assert hancke_kuhn_false_accept(0) == 1.0
+        assert hancke_kuhn_false_accept(1) == 0.75
+        assert hancke_kuhn_false_accept(4) == pytest.approx(0.31640625)
+
+    def test_brands_chaum(self):
+        assert brands_chaum_false_accept(8) == pytest.approx(1 / 256)
+
+    def test_brands_chaum_stronger_per_round(self):
+        for n in (1, 8, 32):
+            assert brands_chaum_false_accept(n) < hancke_kuhn_false_accept(n)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            hancke_kuhn_false_accept(-1)
+
+
+class TestRoundsForSecurity:
+    def test_hk_32bit_security(self):
+        n = rounds_for_security(2.0**-32)
+        assert n == 78
+        assert hancke_kuhn_false_accept(n) <= 2.0**-32
+        assert hancke_kuhn_false_accept(n - 1) > 2.0**-32
+
+    def test_bc_32bit_security(self):
+        assert rounds_for_security(2.0**-32, per_round_success=0.5) == 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rounds_for_security(0.0)
+        with pytest.raises(ConfigurationError):
+            rounds_for_security(0.5, per_round_success=1.0)
+
+
+class TestTimingMargin:
+    def test_slack_converts_to_distance(self):
+        # 1 ms of slack at light speed = 150 km of hiding room.
+        assert timing_margin_distance_km(2.0, 1.0, 300.0) == pytest.approx(150.0)
+
+    def test_no_negative_slack(self):
+        assert timing_margin_distance_km(1.0, 2.0, 300.0) == 0.0
+
+    def test_validates(self):
+        with pytest.raises(ConfigurationError):
+            timing_margin_distance_km(-1.0, 0.0, 300.0)

@@ -1,0 +1,116 @@
+"""Block striping over interleaved RS codewords."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import DeterministicRNG
+from repro.erasure.striping import BlockStriper, StripeLayout
+from repro.errors import ConfigurationError, UncorrectableError
+
+SMALL = StripeLayout(block_bytes=4, data_blocks=11, total_blocks=15)
+
+
+def make_blocks(n, block_bytes=4, seed="blocks"):
+    rng = DeterministicRNG(seed)
+    return [rng.random_bytes(block_bytes) for _ in range(n)]
+
+
+class TestLayout:
+    def test_paper_layout_defaults(self):
+        layout = StripeLayout()
+        assert layout.parity_blocks == 32
+        assert abs(layout.expansion_factor - 255 / 223) < 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StripeLayout(block_bytes=0).validate()
+        with pytest.raises(ConfigurationError):
+            StripeLayout(data_blocks=255, total_blocks=255).validate()
+
+
+class TestChunkRoundtrip:
+    def test_systematic_prefix(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(11)
+        encoded = striper.encode_chunk(blocks)
+        assert encoded[:11] == blocks
+        assert len(encoded) == 15
+
+    def test_short_chunk_padded(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(5)
+        encoded = striper.encode_chunk(blocks)
+        assert len(encoded) == 15
+        assert striper.decode_chunk(encoded, n_data=5) == blocks
+
+    def test_block_size_checked(self):
+        striper = BlockStriper(SMALL)
+        with pytest.raises(ConfigurationError):
+            striper.encode_chunk([b"odd"])
+
+    def test_chunk_size_checked(self):
+        striper = BlockStriper(SMALL)
+        with pytest.raises(ConfigurationError):
+            striper.encode_chunk(make_blocks(12))
+
+    @given(st.integers(0, 2), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_corrupt_blocks_within_radius(self, n_corrupt, data):
+        striper = BlockStriper(SMALL)  # radius (15-11)//2 = 2 blocks
+        blocks = make_blocks(11)
+        encoded = list(striper.encode_chunk(blocks))
+        positions = data.draw(
+            st.lists(
+                st.integers(0, 14),
+                min_size=n_corrupt,
+                max_size=n_corrupt,
+                unique=True,
+            )
+        )
+        for position in positions:
+            encoded[position] = bytes(4)
+        assert striper.decode_chunk(encoded) == blocks
+
+    def test_erasures_up_to_parity(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(11)
+        encoded = list(striper.encode_chunk(blocks))
+        lost = [1, 4, 8, 13]
+        for position in lost:
+            encoded[position] = bytes(4)
+        assert striper.decode_chunk(encoded, erasures=lost) == blocks
+
+    def test_beyond_radius_raises(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(11)
+        encoded = list(striper.encode_chunk(blocks))
+        for position in range(5):
+            encoded[position] = bytes([position + 1]) * 4
+        with pytest.raises(UncorrectableError):
+            striper.decode_chunk(encoded)
+
+
+class TestWholeFile:
+    def test_encoded_length(self):
+        striper = BlockStriper(SMALL)
+        assert striper.encoded_length(0) == 0
+        assert striper.encoded_length(1) == 15
+        assert striper.encoded_length(11) == 15
+        assert striper.encoded_length(12) == 30
+
+    def test_multi_chunk_roundtrip(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(30)  # 3 chunks (11 + 11 + 8)
+        encoded = striper.encode_blocks(blocks)
+        assert len(encoded) == 45
+        assert striper.decode_blocks(encoded, 30) == blocks
+
+    def test_decode_length_checked(self):
+        striper = BlockStriper(SMALL)
+        with pytest.raises(ConfigurationError):
+            striper.decode_blocks(make_blocks(15), 20)
+
+    def test_paper_expansion_on_large_file(self):
+        striper = BlockStriper(StripeLayout())
+        # 1000 blocks -> ceil(1000/223) = 5 chunks -> 1275 blocks.
+        assert striper.encoded_length(1000) == 5 * 255

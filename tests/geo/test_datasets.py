@@ -1,0 +1,76 @@
+"""Dataset integrity: the paper's tables must be faithfully encoded."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import haversine_km
+from repro.geo.datasets import (
+    AUSTRALIA_HOSTS,
+    BRISBANE_ADSL_HOST,
+    QUT_LAN_MACHINES,
+    WORLD_DATACENTRES,
+    city,
+)
+
+
+class TestCityLookup:
+    def test_known_city(self):
+        brisbane = city("Brisbane")
+        assert brisbane.latitude == pytest.approx(-27.47, abs=0.01)
+
+    def test_case_insensitive(self):
+        assert city("SYDNEY") == city("sydney")
+
+    def test_space_normalisation(self):
+        assert city("sao paulo").label == "Sao Paulo"
+
+    def test_unknown_city_names_options(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            city("atlantis")
+
+
+class TestTable3Data:
+    def test_nine_hosts(self):
+        assert len(AUSTRALIA_HOSTS) == 9
+
+    def test_paper_numbers_present(self):
+        by_url = {h.url: h for h in AUSTRALIA_HOSTS}
+        assert by_url["uq.edu.au"].paper_latency_ms == 18.0
+        assert by_url["uwa.edu.au"].paper_distance_km == 3605.0
+        assert by_url["utas.edu.au"].paper_latency_ms == 64.0
+
+    def test_latency_increases_with_distance(self):
+        ordered = sorted(AUSTRALIA_HOSTS, key=lambda h: h.paper_distance_km)
+        latencies = [h.paper_latency_ms for h in ordered]
+        assert latencies == sorted(latencies)
+
+    def test_haversine_close_to_paper_distances(self):
+        # Beyond the two same-city hosts (street distance), haversine
+        # should be within 20 % of the paper's Google-Maps figures.
+        for host in AUSTRALIA_HOSTS:
+            if host.paper_distance_km < 50:
+                continue
+            distance = haversine_km(BRISBANE_ADSL_HOST, host.location)
+            assert abs(distance - host.paper_distance_km) / host.paper_distance_km < 0.2, host.url
+
+
+class TestTable2Data:
+    def test_ten_machines(self):
+        assert len(QUT_LAN_MACHINES) == 10
+
+    def test_all_under_1ms_bound(self):
+        assert all(m.paper_latency_upper_ms == 1.0 for m in QUT_LAN_MACHINES)
+
+    def test_distances_match_paper(self):
+        assert QUT_LAN_MACHINES[7].distance_km == 45.0
+        assert QUT_LAN_MACHINES[0].distance_km == 0.0
+
+
+class TestWorldDatacentres:
+    def test_has_relay_targets(self):
+        for name in ("singapore", "sydney", "dublin", "virginia"):
+            assert name in WORLD_DATACENTRES
+
+    def test_positions_are_distinct(self):
+        positions = {(p.latitude, p.longitude) for p in WORLD_DATACENTRES.values()}
+        assert len(positions) == len(WORLD_DATACENTRES)

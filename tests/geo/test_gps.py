@@ -1,0 +1,47 @@
+"""GPS receiver and spoofing tests."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.gps import GPSReceiver, GPSSpoofer
+
+
+class TestHonestFix:
+    def test_noise_free_fix_exact(self, brisbane):
+        receiver = GPSReceiver(brisbane)
+        fix = receiver.read_fix()
+        assert fix.position == brisbane
+        assert not fix.spoofed
+
+    def test_noisy_fix_within_accuracy(self, brisbane):
+        rng = DeterministicRNG("gps")
+        receiver = GPSReceiver(brisbane, accuracy_m=5.0, rng=rng)
+        for _ in range(50):
+            fix = receiver.read_fix()
+            # 5 sigma bound: |error| < 25 m with overwhelming probability.
+            assert haversine_km(fix.position, brisbane) * 1000 < 25.0
+
+    def test_rejects_negative_accuracy(self, brisbane):
+        with pytest.raises(ConfigurationError):
+            GPSReceiver(brisbane, accuracy_m=-1)
+
+
+class TestSpoofing:
+    def test_spoofer_overrides_fix(self, brisbane):
+        receiver = GPSReceiver(brisbane)
+        fake = GeoPoint(1.35, 103.82, "Singapore")
+        receiver.attach_spoofer(GPSSpoofer(fake))
+        fix = receiver.read_fix()
+        assert fix.position == fake
+        assert fix.spoofed
+
+    def test_spoofer_toggle(self, brisbane):
+        receiver = GPSReceiver(brisbane)
+        spoofer = GPSSpoofer(GeoPoint(0, 0))
+        receiver.attach_spoofer(spoofer)
+        spoofer.toggle(False)
+        assert receiver.read_fix().position == brisbane
+        spoofer.toggle(True)
+        assert receiver.read_fix().spoofed

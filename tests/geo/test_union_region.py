@@ -1,0 +1,64 @@
+"""Union (disjunctive) SLA regions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.geo.datasets import city
+from repro.geo.regions import CircularRegion, UnionRegion
+
+
+class TestUnionRegion:
+    EU_LIKE = UnionRegion(
+        [
+            CircularRegion(city("frankfurt"), 100.0),
+            CircularRegion(city("dublin"), 100.0),
+        ],
+        label="EU regions",
+    )
+
+    def test_member_containment(self):
+        assert self.EU_LIKE.contains(city("frankfurt"))
+        assert self.EU_LIKE.contains(city("dublin"))
+
+    def test_outside_all_members(self):
+        assert not self.EU_LIKE.contains(city("virginia"))
+        assert not self.EU_LIKE.contains(city("sydney"))
+
+    def test_describe_mentions_members(self):
+        text = self.EU_LIKE.describe()
+        assert "EU regions" in text
+        assert text.count("km") == 2
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnionRegion([])
+
+    def test_works_as_sla_region(self):
+        """A union region plugs into the audit verification path."""
+        from repro.core.session import GeoProofSession
+        from repro.por.parameters import TEST_PARAMS
+
+        session = GeoProofSession.build(
+            datacentre_location=city("frankfurt"),
+            region=self.EU_LIKE,
+            params=TEST_PARAMS,
+            seed="union-sla",
+        )
+        session.outsource(b"f", b"eu-data" * 400)
+        assert session.audit(b"f", k=8).verdict.accepted
+
+    def test_rejects_device_outside_union(self):
+        from repro.core.session import GeoProofSession
+        from repro.por.parameters import TEST_PARAMS
+
+        session = GeoProofSession.build(
+            datacentre_location=city("virginia"),  # device outside the SLA
+            region=self.EU_LIKE,
+            params=TEST_PARAMS,
+            seed="union-violation",
+        )
+        session.outsource(b"f", b"us-data" * 400)
+        outcome = session.audit(b"f", k=8)
+        assert not outcome.verdict.accepted
+        assert "gps" in outcome.verdict.failure_reasons

@@ -1,0 +1,49 @@
+"""Shared topology for geolocation-scheme tests.
+
+An Australian backbone: five landmark cities linked in a realistic
+chain, plus a target host hanging off one of them.  Ground truth is in
+the node positions; schemes may only probe.
+"""
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.netsim.topology import NetworkTopology, Node
+
+
+AU_SITES = {
+    "bne-lm": GeoPoint(-27.47, 153.03, "Brisbane"),
+    "syd-lm": GeoPoint(-33.87, 151.21, "Sydney"),
+    "mel-lm": GeoPoint(-37.81, 144.96, "Melbourne"),
+    "adl-lm": GeoPoint(-34.93, 138.60, "Adelaide"),
+    "per-lm": GeoPoint(-31.95, 115.86, "Perth"),
+}
+
+LANDMARKS = list(AU_SITES)
+
+
+@pytest.fixture
+def au_topology():
+    topology = NetworkTopology()
+    for name, position in AU_SITES.items():
+        topology.add_node(Node(name=name, position=position, kind="landmark"))
+    # Routers named with city hints (GeoTrack's food).
+    topology.add_node(
+        Node("core-syd-1.isp.net", GeoPoint(-33.86, 151.20), kind="router")
+    )
+    topology.add_node(
+        Node("core-mel-1.isp.net", GeoPoint(-37.80, 144.95), kind="router")
+    )
+    # Target: a host in Canberra, reached via the Sydney core router.
+    topology.add_node(
+        Node("target-cbr", GeoPoint(-35.28, 149.13, "Canberra"), kind="target")
+    )
+    # Backbone chain bne - syd - mel - adl - per through core routers.
+    topology.add_link("bne-lm", "core-syd-1.isp.net", inflation=1.3)
+    topology.add_link("syd-lm", "core-syd-1.isp.net", latency_ms=0.3)
+    topology.add_link("core-syd-1.isp.net", "core-mel-1.isp.net", inflation=1.3)
+    topology.add_link("mel-lm", "core-mel-1.isp.net", latency_ms=0.3)
+    topology.add_link("core-mel-1.isp.net", "adl-lm", inflation=1.3)
+    topology.add_link("adl-lm", "per-lm", inflation=1.3)
+    topology.add_link("core-syd-1.isp.net", "target-cbr", inflation=1.3)
+    return topology

@@ -1,0 +1,107 @@
+"""Field-axiom property tests for GF(2^8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gf.gf256 import EXP_TABLE, GF256, LOG_TABLE, mul_fast
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestTables:
+    def test_exp_log_inverse(self):
+        for a in range(1, 256):
+            assert EXP_TABLE[LOG_TABLE[a]] == a
+
+    def test_exp_table_doubled(self):
+        for i in range(255):
+            assert EXP_TABLE[i] == EXP_TABLE[i + 255]
+
+    def test_generator_order(self):
+        # alpha^255 = 1, no smaller power is 1.
+        assert GF256.exp(255) == 1
+        seen = {GF256.exp(i) for i in range(255)}
+        assert len(seen) == 255
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_commutative(self, a, b):
+        assert GF256.add(a, b) == GF256.add(b, a)
+
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert GF256.add(a, a) == 0
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert GF256.mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert GF256.mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division(self, a, b):
+        assert GF256.mul(GF256.div(a, b), b) == a
+
+
+class TestPow:
+    @given(nonzero, st.integers(-10, 10))
+    def test_pow_matches_repeated_mul(self, a, exponent):
+        expected = 1
+        base = a if exponent >= 0 else GF256.inv(a)
+        for _ in range(abs(exponent)):
+            expected = GF256.mul(expected, base)
+        assert GF256.pow(a, exponent) == expected
+
+    def test_zero_pow_positive(self):
+        assert GF256.pow(0, 3) == 0
+
+    def test_zero_pow_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.pow(0, 0)
+
+
+class TestErrors:
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(1, 0)
+
+    def test_inverse_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    def test_log_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.log(0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            GF256.add(256, 0)
+
+
+class TestFastPath:
+    @given(elements, elements)
+    def test_mul_fast_matches_checked(self, a, b):
+        assert mul_fast(a, b) == GF256.mul(a, b)

@@ -1,0 +1,103 @@
+"""End-to-end runs at the paper's full parameter set.
+
+The unit suite uses TEST_PARAMS for speed; these tests exercise the
+real configuration -- 128-bit blocks, RS(255, 223), 5-block segments,
+20-bit tags -- once each, bounding the cost by using a ~50 kB file
+(15 RS chunks).
+"""
+
+import pytest
+
+from repro.cloud.adversary import RelayAttack
+from repro.cloud.provider import DataCentre
+from repro.core.session import GeoProofSession
+from repro.crypto.rng import DeterministicRNG
+from repro.geo.coords import GeoPoint
+from repro.geo.datasets import city
+from repro.por.file_format import Segment
+from repro.por.parameters import PORParams
+from repro.por.setup import extract_file
+from repro.storage.hdd import IBM_36Z15
+
+BRISBANE = GeoPoint(-27.4698, 153.0251)
+
+
+@pytest.fixture(scope="module")
+def paper_session():
+    session = GeoProofSession.build(
+        datacentre_location=BRISBANE,
+        params=PORParams(),
+        seed="paper-params",
+    )
+    # 15 exactly-full RS chunks (223 blocks x 16 bytes x 15) -- no
+    # chunk padding, so the measured expansion is the nominal rate.
+    data = DeterministicRNG("paper-data").random_bytes(223 * 16 * 15)
+    session.outsource(b"paper-file", data)
+    return session, data
+
+
+class TestPaperParameters:
+    def test_segment_geometry(self, paper_session):
+        session, data = paper_session
+        record = session.files[b"paper-file"]
+        # 3345 blocks -> 15 chunks -> 3825 encoded blocks -> 765
+        # segments of 5 blocks.
+        assert record.n_segments == 765
+        encoded = session.provider.home_of(b"paper-file").server.store.file_meta(
+            b"paper-file"
+        )
+        assert encoded.params.segment_bits == 660
+
+    def test_overhead_in_paper_range(self, paper_session):
+        session, data = paper_session
+        record = session.files[b"paper-file"]
+        expansion = record.stored_bytes / record.original_bytes - 1.0
+        # Nominal rate: 14.35 % ECC x 3.1 % MAC ~ 17.9 % (the paper
+        # rounds its MAC figure down to reach "about 16.5 %").
+        assert 0.16 < expansion < 0.19
+
+    def test_honest_audit_accepted(self, paper_session):
+        session, _ = paper_session
+        outcome = session.audit(b"paper-file", k=50)
+        assert outcome.verdict.accepted
+        # Paper's arithmetic: rounds cost ~13.1 ms disk + sub-ms LAN.
+        assert 13.0 < outcome.verdict.max_rtt_ms < 16.2
+
+    def test_relay_to_singapore_caught(self, paper_session):
+        session, _ = paper_session
+        session.provider.add_datacentre(
+            DataCentre("sin", city("singapore"), disk=IBM_36Z15)
+        )
+        session.provider.relocate(b"paper-file", "sin")
+        session.provider.set_strategy(RelayAttack("home", "sin"))
+        try:
+            outcome = session.audit(b"paper-file", k=20)
+            assert not outcome.verdict.accepted
+            assert outcome.verdict.failure_reasons == ["timing"]
+        finally:
+            session.provider.set_strategy(None)
+            session.provider.relocate(b"paper-file", "home")
+
+    def test_extraction_with_corruption(self, paper_session):
+        session, data = paper_session
+        store = session.provider.home_of(b"paper-file").server.store
+        encoded = store.file_meta(b"paper-file")
+        # Corrupt 3 scattered segments (15 blocks): the PRP scatters
+        # them across chunks, and each chunk heals <= 32 erased blocks.
+        from repro.por.file_format import EncodedFile
+
+        segments = list(encoded.segments)
+        for index in (10, 400, 700):
+            old = segments[index]
+            segments[index] = Segment(
+                index=index, payload=b"\xaa" * len(old.payload), tag=old.tag
+            )
+        damaged = EncodedFile(
+            file_id=encoded.file_id,
+            params=encoded.params,
+            segments=segments,
+            original_length=encoded.original_length,
+            n_data_blocks=encoded.n_data_blocks,
+        )
+        recovered = extract_file(damaged, session.files[b"paper-file"].keys)
+        assert recovered == data

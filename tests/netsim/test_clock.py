@@ -1,0 +1,58 @@
+"""Simulated clock semantics."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.netsim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ms() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now_ms() == 100.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now_ms() == 0.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ClockError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now_ms() == 10.0
+
+    def test_advance_to_rejects_past(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.0)
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        with clock.stopwatch() as lap:
+            clock.advance(3.0)
+            clock.advance(1.5)
+        assert lap.elapsed_ms == pytest.approx(4.5)
+
+    def test_nested_stopwatches(self):
+        clock = SimClock()
+        with clock.stopwatch() as outer:
+            clock.advance(1.0)
+            with clock.stopwatch() as inner:
+                clock.advance(2.0)
+        assert inner.elapsed_ms == pytest.approx(2.0)
+        assert outer.elapsed_ms == pytest.approx(3.0)

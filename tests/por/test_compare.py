@@ -1,0 +1,78 @@
+"""POS scheme comparison (the Section IV trade-off, quantified)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.por.compare import (
+    compare_schemes,
+    equal_detection_parameters,
+    mac_por_costs,
+    sentinel_por_costs,
+)
+from repro.por.parameters import PORParams
+
+MB = 1024 * 1024
+
+
+class TestMacPorCosts:
+    def test_reusable_forever(self):
+        costs = mac_por_costs(10 * MB, 250)
+        assert costs.audits_supported == float("inf")
+
+    def test_response_bandwidth(self):
+        params = PORParams()
+        costs = mac_por_costs(10 * MB, 100, params)
+        assert costs.response_bytes == 100 * (
+            params.segment_bytes + params.tag_bytes
+        )
+
+    def test_proves_data(self):
+        costs = mac_por_costs(10 * MB, 100)
+        assert costs.data_proven_per_audit_bytes > 0
+
+    def test_k_bounded_by_segments(self):
+        with pytest.raises(ConfigurationError):
+            mac_por_costs(1000, 10**9)
+
+
+class TestSentinelPorCosts:
+    def test_consumable(self):
+        costs = sentinel_por_costs(10 * MB, 100, 1000)
+        assert costs.audits_supported == 10
+
+    def test_query_supply_checked(self):
+        with pytest.raises(ConfigurationError):
+            sentinel_por_costs(10 * MB, 100, 50)
+
+    def test_smaller_responses_than_mac(self):
+        mac = mac_por_costs(10 * MB, 100)
+        sentinel = sentinel_por_costs(10 * MB, 100, 10_000)
+        assert sentinel.response_bytes < mac.response_bytes
+
+    def test_sentinels_prove_no_data(self):
+        costs = sentinel_por_costs(10 * MB, 100, 10_000)
+        assert costs.data_proven_per_audit_bytes == 0
+
+
+class TestEqualDetection:
+    def test_paper_operating_point(self):
+        assert equal_detection_parameters(0.005, 0.713) in (249, 250)
+
+    def test_comparison_at_equal_security(self):
+        mac, sentinel = compare_schemes(100 * MB)
+        assert mac.scheme == "mac-por"
+        assert sentinel.scheme == "sentinel-por"
+        # Structural facts the paper's choice rests on:
+        assert mac.audits_supported == float("inf")
+        assert sentinel.audits_supported < float("inf")
+        # Sentinel storage overhead with a year's supply stays modest
+        # (sentinels are single blocks).
+        assert sentinel.storage_overhead_fraction < mac.storage_overhead_fraction + 0.05
+        # MAC responses cost more bandwidth but prove actual file data.
+        assert mac.response_bytes > sentinel.response_bytes
+        assert mac.data_proven_per_audit_bytes > 0
+
+    def test_sentinel_overhead_grows_with_supply(self):
+        lean = sentinel_por_costs(10 * MB, 100, 1_000)
+        fat = sentinel_por_costs(10 * MB, 100, 1_000_000)
+        assert fat.storage_overhead_fraction > lean.storage_overhead_fraction

@@ -1,0 +1,108 @@
+"""Dynamic POR: audits survive updates, forgeries are caught."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import BlockNotFoundError, ConfigurationError, VerificationError
+from repro.por.dynamic import DynamicPOR, DynamicPORServer, DynamicProof
+
+
+@pytest.fixture
+def dpor_pair(keys, rng):
+    client = DynamicPOR(keys.mac_key, b"dpor-test")
+    blocks = [rng.fork(f"b{i}").random_bytes(16) for i in range(25)]
+    server = client.outsource(blocks)
+    return client, server, blocks
+
+
+class TestOutsource:
+    def test_sets_root_and_count(self, dpor_pair):
+        client, server, blocks = dpor_pair
+        assert client.root == server.tree.root
+        assert client.n_blocks == len(blocks)
+
+    def test_rejects_empty(self, keys):
+        with pytest.raises(ConfigurationError):
+            DynamicPOR(keys.mac_key, b"f").outsource([])
+
+
+class TestAudit:
+    def test_honest_proofs_verify(self, dpor_pair, rng):
+        client, server, _ = dpor_pair
+        for index in client.make_challenge(10, rng):
+            assert client.verify(server.prove(index))
+
+    def test_challenge_bounds(self, dpor_pair, rng):
+        client, _, _ = dpor_pair
+        with pytest.raises(ConfigurationError):
+            client.make_challenge(0, rng)
+        with pytest.raises(ConfigurationError):
+            client.make_challenge(26, rng)
+
+    def test_unoutsourced_client_rejects(self, keys, rng):
+        client = DynamicPOR(keys.mac_key, b"f")
+        with pytest.raises(ConfigurationError):
+            client.make_challenge(1, rng)
+
+    def test_tampered_block_fails(self, dpor_pair):
+        client, server, _ = dpor_pair
+        proof = server.prove(3)
+        forged = DynamicProof(
+            index=3, block=b"\x00" * 16, tag=proof.tag, path=proof.path
+        )
+        assert not client.verify(forged)
+
+    def test_swapped_position_fails(self, dpor_pair):
+        # Serving block 7 for challenge 3: the tag verifies (tags are
+        # content-bound) but the Merkle leaf hash binds the index, so
+        # the proof must fail for the wrong position.
+        client, server, _ = dpor_pair
+        honest_7 = server.prove(7)
+        forged = DynamicProof(
+            index=3, block=honest_7.block, tag=honest_7.tag, path=honest_7.path
+        )
+        assert not client.verify(forged)
+
+    def test_missing_block(self, dpor_pair):
+        _, server, _ = dpor_pair
+        with pytest.raises(BlockNotFoundError):
+            server.prove(99)
+
+    def test_require_valid(self, dpor_pair):
+        client, server, _ = dpor_pair
+        proof = server.prove(0)
+        forged = DynamicProof(0, b"\x11" * 16, proof.tag, proof.path)
+        with pytest.raises(VerificationError):
+            client.require_valid(forged)
+
+
+class TestUpdates:
+    def test_update_then_audit(self, dpor_pair, rng):
+        client, server, _ = dpor_pair
+        client.update_block(server, 5, b"fresh-data-16by!")
+        assert client.verify(server.prove(5))
+        # Unrelated blocks still verify after the root rolled forward.
+        assert client.verify(server.prove(6))
+
+    def test_stale_root_rejects_old_content(self, dpor_pair):
+        client, server, blocks = dpor_pair
+        old_proof = server.prove(5)
+        client.update_block(server, 5, b"fresh-data-16by!")
+        assert not client.verify(old_proof)
+
+    def test_multiple_updates(self, dpor_pair):
+        client, server, _ = dpor_pair
+        for index in (0, 12, 24, 12):
+            client.update_block(server, index, f"update-{index}".encode().ljust(16))
+            assert client.verify(server.prove(index))
+
+    def test_inconsistent_server_update_detected(self, dpor_pair, monkeypatch):
+        client, server, _ = dpor_pair
+        original = server.apply_update
+
+        def lying_update(index, new_block, new_tag):
+            original(index, b"\x00" * 16, new_tag)  # applies wrong data
+
+        monkeypatch.setattr(server, "apply_update", lying_update)
+        with pytest.raises(VerificationError):
+            client.update_block(server, 2, b"honest-content!!")

@@ -1,0 +1,65 @@
+"""Segment and EncodedFile container tests."""
+
+import pytest
+
+from repro.errors import BlockNotFoundError, ConfigurationError
+from repro.por.file_format import EncodedFile, Segment
+from repro.por.parameters import TEST_PARAMS
+from repro.por.setup import PORKeys, setup_file
+
+
+@pytest.fixture
+def encoded(keys, sample_data):
+    return setup_file(sample_data, keys, b"fmt-test", TEST_PARAMS)
+
+
+class TestSegment:
+    def test_wire_roundtrip(self):
+        segment = Segment(index=7, payload=b"payload-bytes", tag=b"tag")
+        parsed, offset = Segment.from_wire(segment.wire_bytes())
+        assert parsed == segment
+        assert offset == len(segment.wire_bytes())
+
+    def test_size(self):
+        assert Segment(0, b"12345", b"67").size_bytes == 7
+
+    def test_wire_concatenation(self):
+        a = Segment(0, b"a", b"t1")
+        b = Segment(1, b"bb", b"t2")
+        blob = a.wire_bytes() + b.wire_bytes()
+        first, offset = Segment.from_wire(blob)
+        second, _ = Segment.from_wire(blob, offset)
+        assert (first, second) == (a, b)
+
+
+class TestEncodedFile:
+    def test_segment_lookup(self, encoded):
+        assert encoded.segment(0).index == 0
+        assert encoded.segment(encoded.n_segments - 1).index == encoded.n_segments - 1
+
+    def test_missing_segment(self, encoded):
+        with pytest.raises(BlockNotFoundError):
+            encoded.segment(encoded.n_segments)
+
+    def test_rejects_misindexed_segments(self):
+        bad = [Segment(index=1, payload=b"x" * 12, tag=b"t")]
+        with pytest.raises(ConfigurationError):
+            EncodedFile(b"f", TEST_PARAMS, bad, 10, 3)
+
+    def test_blocks_reassembly(self, encoded):
+        blocks = encoded.blocks()
+        assert all(len(b) == TEST_PARAMS.block_bytes for b in blocks)
+        assert len(blocks) == encoded.n_segments * TEST_PARAMS.segment_blocks
+
+    def test_stored_bytes(self, encoded):
+        per_segment = TEST_PARAMS.segment_bytes + TEST_PARAMS.tag_bytes
+        assert encoded.stored_bytes == encoded.n_segments * per_segment
+
+    def test_serialisation_roundtrip(self, encoded):
+        blob = encoded.to_bytes()
+        parsed = EncodedFile.from_bytes(blob)
+        assert parsed.file_id == encoded.file_id
+        assert parsed.original_length == encoded.original_length
+        assert parsed.n_data_blocks == encoded.n_data_blocks
+        assert parsed.params == encoded.params
+        assert parsed.segments == encoded.segments

@@ -1,0 +1,90 @@
+"""Object store semantics."""
+
+import pytest
+
+from repro.errors import BlockNotFoundError, ConfigurationError
+from repro.por.file_format import Segment
+from repro.por.parameters import TEST_PARAMS
+from repro.por.setup import setup_file
+from repro.storage.backend import ObjectStore
+
+
+@pytest.fixture
+def store_with_file(keys, sample_data):
+    store = ObjectStore()
+    encoded = setup_file(sample_data, keys, b"backend-test", TEST_PARAMS)
+    store.put_file(encoded)
+    return store, encoded
+
+
+class TestIngest:
+    def test_put_and_query(self, store_with_file):
+        store, encoded = store_with_file
+        assert store.has_file(b"backend-test")
+        assert store.n_segments(b"backend-test") == encoded.n_segments
+        assert store.file_ids() == [b"backend-test"]
+
+    def test_duplicate_rejected(self, store_with_file, keys, sample_data):
+        store, encoded = store_with_file
+        with pytest.raises(ConfigurationError):
+            store.put_file(encoded)
+
+    def test_delete(self, store_with_file):
+        store, _ = store_with_file
+        store.delete_file(b"backend-test")
+        assert not store.has_file(b"backend-test")
+
+    def test_delete_missing(self):
+        with pytest.raises(BlockNotFoundError):
+            ObjectStore().delete_file(b"ghost")
+
+    def test_file_meta(self, store_with_file):
+        store, encoded = store_with_file
+        assert store.file_meta(b"backend-test").original_length == encoded.original_length
+
+
+class TestAccess:
+    def test_get_segment(self, store_with_file):
+        store, encoded = store_with_file
+        assert store.get_segment(b"backend-test", 0) == encoded.segments[0]
+
+    def test_missing_file(self):
+        with pytest.raises(BlockNotFoundError):
+            ObjectStore().get_segment(b"ghost", 0)
+
+    def test_missing_segment(self, store_with_file):
+        store, encoded = store_with_file
+        with pytest.raises(BlockNotFoundError):
+            store.get_segment(b"backend-test", encoded.n_segments)
+
+    def test_segment_size(self, store_with_file):
+        store, _ = store_with_file
+        expected = TEST_PARAMS.segment_bytes + TEST_PARAMS.tag_bytes
+        assert store.segment_size_bytes(b"backend-test") == expected
+
+
+class TestMutation:
+    def test_overwrite_segment(self, store_with_file):
+        store, _ = store_with_file
+        original = store.get_segment(b"backend-test", 3)
+        forged = Segment(index=3, payload=bytes(len(original.payload)), tag=original.tag)
+        store.overwrite_segment(b"backend-test", forged)
+        assert store.get_segment(b"backend-test", 3) == forged
+
+    def test_overwrite_missing_rejected(self, store_with_file):
+        store, encoded = store_with_file
+        ghost = Segment(index=encoded.n_segments, payload=b"x" * 12, tag=b"t")
+        with pytest.raises(BlockNotFoundError):
+            store.overwrite_segment(b"backend-test", ghost)
+
+    def test_drop_segment(self, store_with_file):
+        store, _ = store_with_file
+        store.drop_segment(b"backend-test", 5)
+        with pytest.raises(BlockNotFoundError):
+            store.get_segment(b"backend-test", 5)
+
+    def test_drop_twice_rejected(self, store_with_file):
+        store, _ = store_with_file
+        store.drop_segment(b"backend-test", 5)
+        with pytest.raises(BlockNotFoundError):
+            store.drop_segment(b"backend-test", 5)

@@ -1,0 +1,79 @@
+"""LRU cache behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.cache import LRUCache
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        cache = LRUCache(100)
+        assert cache.get("k") is None
+        cache.put("k", b"value")
+        assert cache.get("k") == b"value"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_hit_rate(self):
+        cache = LRUCache(100)
+        cache.put("k", b"v")
+        cache.get("k")
+        cache.get("x")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate(self):
+        assert LRUCache(10).hit_rate == 0.0
+
+    def test_overwrite_updates_bytes(self):
+        cache = LRUCache(100)
+        cache.put("k", b"12345")
+        cache.put("k", b"12")
+        assert cache.used_bytes == 2
+        assert cache.n_entries == 1
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(10)
+        cache.put("a", b"11111")
+        cache.put("b", b"22222")
+        cache.get("a")  # refresh a
+        cache.put("c", b"33333")  # evicts b (LRU)
+        assert cache.get("a") == b"11111"
+        assert cache.get("b") is None
+        assert cache.get("c") == b"33333"
+
+    def test_capacity_respected(self):
+        cache = LRUCache(10)
+        for i in range(10):
+            cache.put(i, bytes(3))
+        assert cache.used_bytes <= 10
+
+    def test_oversize_object_not_cached(self):
+        cache = LRUCache(4)
+        cache.put("big", b"12345")
+        assert cache.get("big") is None
+        assert cache.used_bytes == 0
+
+    def test_zero_capacity(self):
+        cache = LRUCache(0)
+        cache.put("k", b"")
+        assert cache.used_bytes == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(-1)
+
+
+class TestClear:
+    def test_clear_resets_everything(self):
+        cache = LRUCache(100)
+        cache.put("k", b"v")
+        cache.get("k")
+        cache.get("x")
+        cache.clear()
+        assert cache.n_entries == 0
+        assert cache.used_bytes == 0
+        assert cache.hits == 0
+        assert cache.misses == 0

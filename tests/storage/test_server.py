@@ -1,0 +1,98 @@
+"""Storage server: lookup timing and caching."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRNG
+from repro.por.parameters import TEST_PARAMS
+from repro.por.setup import setup_file
+from repro.storage.hdd import HDDModel, IBM_36Z15, WD_2500JD
+from repro.storage.server import StorageServer
+
+
+@pytest.fixture
+def loaded_server(keys, sample_data):
+    server = StorageServer(WD_2500JD)
+    encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+    server.store.put_file(encoded)
+    return server, encoded
+
+
+class TestDeterministicLookup:
+    def test_charges_datasheet_average(self, loaded_server):
+        server, _ = loaded_server
+        result = server.lookup(b"srv", 0)
+        expected = HDDModel(WD_2500JD).lookup_ms(result.segment.size_bytes)
+        assert result.elapsed_ms == pytest.approx(expected)
+        assert not result.cache_hit
+
+    def test_fast_disk_is_faster(self, keys, sample_data):
+        slow = StorageServer(WD_2500JD)
+        fast = StorageServer(IBM_36Z15)
+        encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+        slow.store.put_file(encoded)
+        fast.store.put_file(encoded)
+        assert fast.lookup(b"srv", 0).elapsed_ms < slow.lookup(b"srv", 0).elapsed_ms
+
+    def test_queue_delay_added(self, keys, sample_data):
+        server = StorageServer(WD_2500JD, queue_delay_ms=1.5)
+        encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+        server.store.put_file(encoded)
+        base = HDDModel(WD_2500JD).lookup_ms(
+            encoded.segments[0].size_bytes
+        )
+        assert server.lookup(b"srv", 0).elapsed_ms == pytest.approx(base + 1.5)
+
+    def test_statistics(self, loaded_server):
+        server, _ = loaded_server
+        for i in range(5):
+            server.lookup(b"srv", i)
+        assert server.n_lookups == 5
+        assert server.mean_disk_ms > 0
+
+
+class TestStochasticLookup:
+    def test_varies_and_averages_out(self, keys, sample_data):
+        server = StorageServer(
+            WD_2500JD, deterministic=False, rng=DeterministicRNG("disk")
+        )
+        encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+        server.store.put_file(encoded)
+        samples = [server.lookup(b"srv", i % encoded.n_segments).elapsed_ms for i in range(300)]
+        assert len(set(samples)) > 10
+        mean = sum(samples) / len(samples)
+        expected = HDDModel(WD_2500JD).lookup_ms(encoded.segments[0].size_bytes)
+        assert mean == pytest.approx(expected, rel=0.15)
+
+
+class TestCaching:
+    def test_cache_hit_skips_disk(self, keys, sample_data):
+        server = StorageServer(WD_2500JD, cache_bytes=10**6)
+        encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+        server.store.put_file(encoded)
+        first = server.lookup(b"srv", 0)
+        second = server.lookup(b"srv", 0)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.elapsed_ms < first.elapsed_ms
+        assert second.segment == first.segment
+
+    def test_prefetch(self, keys, sample_data):
+        server = StorageServer(WD_2500JD, cache_bytes=10**6)
+        encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+        server.store.put_file(encoded)
+        warmed = server.prefetch(b"srv", [0, 1, 2, 999999])
+        assert warmed == 3
+        assert server.lookup(b"srv", 1).cache_hit
+
+    def test_small_cache_bounded_hit_rate(self, keys, sample_data):
+        # Cache a tenth of the file; uniform random lookups should hit
+        # roughly a tenth of the time.
+        encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+        segment_bytes = encoded.segments[0].wire_bytes()
+        cache_bytes = len(segment_bytes) * (encoded.n_segments // 10)
+        server = StorageServer(WD_2500JD, cache_bytes=cache_bytes)
+        server.store.put_file(encoded)
+        rng = DeterministicRNG("load")
+        for _ in range(2000):
+            server.lookup(b"srv", rng.randrange(encoded.n_segments))
+        assert server.cache.hit_rate < 0.2

@@ -1,0 +1,100 @@
+"""CLI subcommands: exit codes and printed content."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "WD 2500JD" in out
+        assert "13.1055" in out
+
+    def test_table1_custom_read_size(self, capsys):
+        assert main(["table1", "--read-bytes", "4096"]) == 0
+        assert "4096-byte read" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Other Campus" in out
+        assert out.count("yes") == 10  # all placements under 1 ms
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "uwa.edu.au" in out
+        assert "correlation" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--distances", "0", "500", "--rounds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "paper relay bound: 360" in out
+        assert "yes" in out and "no" in out
+
+
+class TestAudit:
+    def test_honest_audit_exit_zero(self, capsys):
+        assert main(["audit", "--size", "15000", "--rounds", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted: True" in out
+
+    def test_relay_attack_detected_exit_zero(self, capsys):
+        # Exit 0 = the outcome matched expectations (attack detected).
+        code = main(
+            ["audit", "--size", "15000", "--rounds", "8", "--attack", "relay"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accepted: False" in out
+        assert "timing" in out
+
+    def test_corruption_attack(self, capsys):
+        code = main(
+            [
+                "audit",
+                "--size",
+                "15000",
+                "--rounds",
+                "30",
+                "--attack",
+                "corrupt",
+                "--epsilon",
+                "0.3",
+            ]
+        )
+        out = capsys.readouterr().out
+        # Detection is probabilistic but eps=0.3, k=30 -> p ~ 1-1e-5.
+        assert code == 0
+        assert "mac" in out
+
+
+class TestAnalyse:
+    def test_paper_scale(self, capsys):
+        code = main(
+            [
+                "analyse",
+                "--segments",
+                "1000000",
+                "--epsilon",
+                "0.005",
+                "--rounds",
+                "1000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Delta-t_max" in out
+        assert "relay distance bound" in out

@@ -1,0 +1,81 @@
+"""Public-API hygiene: exports resolve, everything public is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PUBLIC_PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.cloud",
+    "repro.core",
+    "repro.crypto",
+    "repro.distbound",
+    "repro.erasure",
+    "repro.geo",
+    "repro.geoloc",
+    "repro.gf",
+    "repro.netsim",
+    "repro.por",
+    "repro.storage",
+    "repro.util",
+]
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_package_all_resolves(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert getattr(package, name, None) is not None, (
+                f"{package_name}.{name}"
+            )
+
+    def test_lazy_core_exports(self):
+        import repro.core as core
+
+        assert core.GeoProofSession is not None
+        assert core.DynamicGeoProofSession is not None
+        with pytest.raises(AttributeError):
+            core.does_not_exist
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_package_docstrings(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and len(package.__doc__) > 40, package_name
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, undocumented
+
+    def test_public_class_methods_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited
+                if not (method.__doc__ and method.__doc__.strip()):
+                    undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, undocumented
+
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,128 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.bitops import (
+    bit_at,
+    bits_to_bytes,
+    bytes_to_bits,
+    ceil_div,
+    rotl32,
+    split_in_half,
+    xor_bytes,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one_remainder(self):
+        assert ceil_div(5, 4) == 2
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ConfigurationError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ConfigurationError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_float_ceiling(self, a, b):
+        assert ceil_div(a, b) == (a + b - 1) // b
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xf0\x0f") == b"\xff\xff"
+
+    def test_identity_with_zero(self):
+        assert xor_bytes(b"abc", b"\x00\x00\x00") == b"abc"
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            xor_bytes(b"ab", b"a")
+
+    @given(st.binary(max_size=64))
+    def test_self_inverse(self, data):
+        mask = bytes((i * 37) % 256 for i in range(len(data)))
+        assert xor_bytes(xor_bytes(data, mask), mask) == data
+
+
+class TestRotl32:
+    def test_by_zero(self):
+        assert rotl32(0x12345678, 0) == 0x12345678
+
+    def test_by_eight(self):
+        assert rotl32(0x12345678, 8) == 0x34567812
+
+    def test_wraps_modulo_32(self):
+        assert rotl32(0x12345678, 32) == 0x12345678
+
+    def test_masks_to_32_bits(self):
+        assert rotl32(0xFFFFFFFF, 1) == 0xFFFFFFFF
+
+
+class TestBitConversions:
+    def test_bytes_to_bits_msb_first(self):
+        assert bytes_to_bits(b"\xa0") == [1, 0, 1, 0, 0, 0, 0, 0]
+
+    def test_truncation(self):
+        assert bytes_to_bits(b"\xa0", 4) == [1, 0, 1, 0]
+
+    def test_truncation_bounds(self):
+        with pytest.raises(ConfigurationError):
+            bytes_to_bits(b"\xa0", 9)
+
+    def test_bits_to_bytes_pads_tail(self):
+        assert bits_to_bytes([1, 0, 1, 0]) == b"\xa0"
+
+    def test_bits_to_bytes_rejects_non_bits(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes([1, 2])
+
+    @given(st.binary(min_size=1, max_size=32))
+    def test_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_roundtrip_bits(self, bits):
+        assert bytes_to_bits(bits_to_bytes(bits), len(bits)) == bits
+
+
+class TestBitAt:
+    def test_first_bit(self):
+        assert bit_at(b"\x80", 0) == 1
+
+    def test_last_bit(self):
+        assert bit_at(b"\x01", 7) == 1
+
+    def test_crosses_byte_boundary(self):
+        assert bit_at(b"\x00\x80", 8) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            bit_at(b"\x00", 8)
+
+    @given(st.binary(min_size=1, max_size=16), st.data())
+    def test_agrees_with_bytes_to_bits(self, data, draw):
+        index = draw.draw(st.integers(0, 8 * len(data) - 1))
+        assert bit_at(data, index) == bytes_to_bits(data)[index]
+
+
+class TestSplitInHalf:
+    def test_even_split(self):
+        assert split_in_half(b"abcd") == (b"ab", b"cd")
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ConfigurationError):
+            split_in_half(b"abc")
