@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fleet auditing walkthrough: many tenants, one misbehaving provider.
+
+The single-owner quickstart scales up: three providers, three tenants,
+a dozen outsourced files, one shared simulated clock -- and one
+provider that quietly relocated its tenant's data offshore.  The fleet
+engine allocates finite audit capacity with a pluggable scheduling
+strategy, batches challenge rounds per data centre, and aggregates
+everything into a compliance report.
+
+1. build an :class:`~repro.fleet.AuditFleet` and onboard providers
+   with located data centres (a verifier device per site, a TPA per
+   provider, all on the fleet clock);
+2. register tenant files -- each registration runs the full
+   Juels-Kaliski setup and enqueues the file for recurring audits;
+3. inject the violation: the third provider relocates every file to
+   Singapore and relays audits (the Fig. 6 attack, fleet-scale);
+4. run 24 simulated hours under risk-weighted scheduling and read the
+   report: honest tenants at 100 % acceptance, every relayed file
+   flagged by the timing bound, with detection latency in hours.
+
+Run:  python examples/fleet_audit.py
+"""
+
+from repro import DeterministicRNG, city
+from repro.cloud.adversary import RelayAttack
+from repro.cloud.provider import DataCentre
+from repro.fleet import AuditFleet, RiskWeightedStrategy
+from repro.storage.hdd import IBM_36Z15
+
+PROVIDERS = {
+    "acme": "brisbane",
+    "globex": "sydney",
+    "initech": "melbourne",
+}
+
+
+def main() -> None:
+    # 1. The fleet: finite capacity (one batch per 30-minute slot, up
+    #    to 4 audits per batch) allocated by risk-weighted scheduling.
+    fleet = AuditFleet(
+        seed="fleet-example",
+        strategy=RiskWeightedStrategy(),
+        slot_minutes=30.0,
+        batch_size=4,
+    )
+    for name, site in PROVIDERS.items():
+        fleet.add_provider(name, [(site, city(site))])
+    print(f"onboarded providers: {', '.join(fleet.provider_names())}")
+
+    # 2. Tenants outsource files.  initech's tenant declares a higher
+    #    corruption tolerance (epsilon): the risk signal the scheduler
+    #    uses to audit those files more aggressively.
+    data_rng = DeterministicRNG("fleet-example-data")
+    for tenant, (name, site) in zip(
+        ("alice", "bob", "carol"), PROVIDERS.items()
+    ):
+        epsilon = 0.10 if name == "initech" else 0.02
+        for i in range(4):
+            fleet.register(
+                tenant=tenant,
+                provider=name,
+                datacentre=site,
+                file_id=f"{tenant}-doc-{i}".encode(),
+                data=data_rng.fork(f"{tenant}-{i}").random_bytes(2_000),
+                epsilon=epsilon,
+                interval_hours=6.0,
+            )
+    print(f"registered {fleet.n_files} files for 3 tenants")
+
+    # 3. The violation: initech moves carol's data to Singapore and
+    #    forwards audit rounds over the Internet.
+    initech = fleet.provider("initech")
+    initech.add_datacentre(
+        DataCentre("singapore", city("singapore"), disk=IBM_36Z15)
+    )
+    for task in fleet.tasks():
+        if task.provider_name == "initech":
+            initech.relocate(task.file_id, "singapore")
+    initech.set_strategy(RelayAttack("melbourne", "singapore"))
+    print("initech relocated carol's files offshore (relay installed)\n")
+
+    # 4. Audit the fleet for a simulated day and read the report.
+    report = fleet.run(hours=24.0)
+    print(report.render())
+
+    first = report.first_detection_hours()
+    print(
+        f"\nfirst violation detected after {first:.2f} simulated hours; "
+        f"batching saved {report.overhead_saved_ms:.0f} ms of dispatch "
+        f"overhead across {report.n_batches} batches"
+    )
+
+    alice = report.tenant_summary("alice")
+    carol = report.tenant_summary("carol")
+    assert alice is not None and alice.acceptance_rate == 1.0
+    assert carol is not None and carol.acceptance_rate < 1.0
+    relayed = {t.file_id for t in fleet.tasks() if t.provider_name == "initech"}
+    flagged = {v.file_id for v in report.violations}
+    assert flagged == relayed, "every relayed file must be flagged"
+    assert all("timing" in v.failure_reasons for v in report.violations)
+    print("fleet caught the relay on every affected file -- done.")
+
+
+if __name__ == "__main__":
+    main()

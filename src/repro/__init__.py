@@ -24,6 +24,11 @@ Package layout (see DESIGN.md for the full inventory):
 
 * :mod:`repro.core` -- the GeoProof protocol: messages, timing
   calibration, TPA verification, session orchestration.
+* :mod:`repro.fleet` -- fleet-scale batch auditing: many tenants and
+  providers on one shared clock, pluggable scheduling strategies
+  (:class:`~repro.fleet.strategies.AuditStrategy` contract), per-data-
+  centre challenge batching, aggregated
+  :class:`~repro.fleet.report.FleetReport` compliance reporting.
 * :mod:`repro.por` -- proofs of storage: the Juels-Kaliski pipeline,
   MAC-POR, sentinel-POR, dynamic POR, detection analysis.
 * :mod:`repro.distbound` -- classic distance-bounding protocols and
@@ -60,6 +65,14 @@ from repro.core.session import GeoProofSession
 from repro.core.verification import GeoProofVerdict, verify_transcript
 from repro.crypto.rng import DeterministicRNG
 from repro.errors import ReproError, VerificationError
+from repro.fleet import (
+    AuditFleet,
+    AuditStrategy,
+    DeadlineStrategy,
+    FleetReport,
+    RiskWeightedStrategy,
+    RoundRobinStrategy,
+)
 from repro.geo.coords import GeoPoint, haversine_km
 from repro.geo.datasets import city
 from repro.geo.regions import (
@@ -92,6 +105,13 @@ __all__ = [
     "ThirdPartyAuditor",
     "AuditOutcome",
     "SLAPolicy",
+    # fleet auditing
+    "AuditFleet",
+    "FleetReport",
+    "AuditStrategy",
+    "RoundRobinStrategy",
+    "RiskWeightedStrategy",
+    "DeadlineStrategy",
     # adversaries
     "RelayAttack",
     "PrefetchRelayAttack",

@@ -11,6 +11,10 @@ one TPA -- so examples and benchmarks can run audits in a few lines:
 
 The session owns the shared simulated clock; repeated audits advance
 it monotonically, and the event scheduler can interleave other actors.
+
+The data-owner setup plumbing lives in :func:`outsource_file` so the
+multi-tenant :class:`~repro.fleet.fleet.AuditFleet` can reuse it
+verbatim; the session remains the one-owner convenience wrapper.
 """
 
 from __future__ import annotations
@@ -40,6 +44,47 @@ class OutsourcedFile:
     n_segments: int
     original_bytes: int
     stored_bytes: int
+
+
+def outsource_file(
+    *,
+    file_id: bytes,
+    data: bytes,
+    provider: CloudProvider,
+    tpa: ThirdPartyAuditor,
+    params: PORParams,
+    sla: SLAPolicy,
+    home_datacentre: str,
+    rng: DeterministicRNG,
+) -> OutsourcedFile:
+    """Encode ``data``, upload it, and hand auditing duty to the TPA.
+
+    This is the data-owner side of Fig. 4's setup phase, shared by the
+    single-owner :class:`GeoProofSession` and the multi-tenant
+    :class:`~repro.fleet.fleet.AuditFleet`: derive per-file POR keys
+    from the caller's RNG, run the Juels-Kaliski setup pipeline, store
+    the encoded file at its contractual home site, and register the
+    MAC key + SLA with the TPA.
+    """
+    keys = PORKeys.derive(
+        rng.fork(f"keys-{file_id.hex()}").random_bytes(32)
+    )
+    encoded = setup_file(data, keys, file_id, params)
+    provider.upload(encoded, home_datacentre)
+    tpa.register_file(
+        file_id,
+        encoded.n_segments,
+        keys.mac_key,
+        params,
+        sla,
+    )
+    return OutsourcedFile(
+        file_id=file_id,
+        keys=keys,
+        n_segments=encoded.n_segments,
+        original_bytes=len(data),
+        stored_bytes=encoded.stored_bytes,
+    )
 
 
 class GeoProofSession:
@@ -124,24 +169,15 @@ class GeoProofSession:
         """Encode a file, upload it, and register it with the TPA."""
         if file_id in self.files:
             raise ConfigurationError(f"file {file_id!r} already outsourced")
-        keys = PORKeys.derive(
-            self._rng.fork(f"keys-{file_id.hex()}").random_bytes(32)
-        )
-        encoded = setup_file(data, keys, file_id, self.params)
-        self.provider.upload(encoded, self.home_datacentre)
-        self.tpa.register_file(
-            file_id,
-            encoded.n_segments,
-            keys.mac_key,
-            self.params,
-            self.sla,
-        )
-        record = OutsourcedFile(
+        record = outsource_file(
             file_id=file_id,
-            keys=keys,
-            n_segments=encoded.n_segments,
-            original_bytes=len(data),
-            stored_bytes=encoded.stored_bytes,
+            data=data,
+            provider=self.provider,
+            tpa=self.tpa,
+            params=self.params,
+            sla=self.sla,
+            home_datacentre=self.home_datacentre,
+            rng=self._rng,
         )
         self.files[file_id] = record
         return record

@@ -1,0 +1,52 @@
+"""Fleet-scale batch auditing: the multi-tenant GeoProof deployment.
+
+Where :class:`~repro.core.session.GeoProofSession` reproduces the
+paper's single-owner Fig. 4 deployment, this package runs the
+production shape: many tenants, many files, multiple providers and
+TPAs, all on one shared simulated clock, with finite audit capacity
+allocated by pluggable scheduling strategies and challenges batched
+per data centre.
+
+* :mod:`repro.fleet.fleet` -- :class:`AuditFleet`: registration,
+  slot/batch capacity model, the run loop.
+* :mod:`repro.fleet.strategies` -- the strategy contract
+  (:class:`AuditStrategy`) and the built-in policies:
+  :class:`RoundRobinStrategy`, :class:`RiskWeightedStrategy`,
+  :class:`DeadlineStrategy`.
+* :mod:`repro.fleet.report` -- :class:`FleetReport` aggregation
+  (per-tenant acceptance, violation latency, verdict breakdown).
+* :mod:`repro.fleet.demo` -- the canonical demo workload shared by
+  the ``fleet`` CLI subcommand, ``benchmarks/bench_fleet.py`` and
+  ``examples/fleet_audit.py``.
+"""
+
+from repro.fleet.fleet import AuditFleet, ProviderDeployment
+from repro.fleet.report import (
+    AuditEvent,
+    FleetReport,
+    TenantSummary,
+    ViolationRecord,
+)
+from repro.fleet.strategies import (
+    AuditStrategy,
+    AuditTask,
+    DeadlineStrategy,
+    RiskWeightedStrategy,
+    RoundRobinStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "AuditFleet",
+    "ProviderDeployment",
+    "AuditStrategy",
+    "AuditTask",
+    "RoundRobinStrategy",
+    "RiskWeightedStrategy",
+    "DeadlineStrategy",
+    "make_strategy",
+    "FleetReport",
+    "AuditEvent",
+    "TenantSummary",
+    "ViolationRecord",
+]

@@ -1,0 +1,149 @@
+"""Canonical demo fleets shared by the CLI, bench and example.
+
+:func:`build_demo_fleet` assembles the reference multi-tenant workload:
+``n_providers`` providers spread over real city sites, tenant files
+dealt provider-by-provider, and (optionally) one *violating* provider
+onboarded last whose files are declared high-risk -- the configuration
+the scheduling-strategy comparison in ``benchmarks/bench_fleet.py``
+measures detection latency on.
+
+The violation modes mirror :mod:`repro.cloud.adversary`:
+
+* ``"corrupt"`` -- the violator serves locally but a fraction of each
+  file's segments are bit-rotted (caught by MAC checks);
+* ``"relay"`` -- the violator quietly relocated every file to a remote
+  site and forwards audits to it (caught by the timing bound).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.adversary import CorruptionAttack, RelayAttack
+from repro.cloud.provider import DataCentre
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import ConfigurationError
+from repro.geo.datasets import city
+from repro.storage.hdd import IBM_36Z15
+
+from repro.fleet.fleet import AuditFleet
+from repro.fleet.strategies import AuditStrategy
+
+#: Home sites for demo providers, in onboarding order.
+PROVIDER_SITES = [
+    "brisbane",
+    "sydney",
+    "melbourne",
+    "perth",
+    "adelaide",
+    "hobart",
+]
+
+#: Where a relaying violator actually keeps the data.
+RELAY_SITE = "singapore"
+
+
+def build_demo_fleet(
+    *,
+    n_files: int,
+    n_providers: int = 3,
+    strategy: AuditStrategy | None = None,
+    seed: str = "fleet-demo",
+    violation: str | None = "corrupt",
+    violation_epsilon: float = 0.10,
+    honest_epsilon: float = 0.02,
+    file_bytes: int = 2_000,
+    interval_hours: float = 6.0,
+    slot_minutes: float = 30.0,
+    batch_size: int = 4,
+    k_rounds: int = 10,
+) -> AuditFleet:
+    """Build the reference fleet: one tenant per provider, files dealt
+    evenly, the last provider optionally misbehaving.
+
+    Files are registered honest-providers-first so the violator's
+    files sit at the *back* of the registration order -- the worst
+    case for naive rotation and exactly the case risk-weighted
+    scheduling is built for (the violator's tenant declares the higher
+    ``violation_epsilon`` risk tolerance).
+    """
+    if n_providers < 1:
+        raise ConfigurationError(f"need at least one provider, got {n_providers}")
+    if n_providers > len(PROVIDER_SITES):
+        raise ConfigurationError(
+            f"demo fleet supports at most {len(PROVIDER_SITES)} providers"
+        )
+    if n_files < n_providers:
+        raise ConfigurationError(
+            f"need at least one file per provider, got {n_files}"
+        )
+    if violation not in (None, "corrupt", "relay"):
+        raise ConfigurationError(f"unknown violation mode {violation!r}")
+    fleet = AuditFleet(
+        seed=seed,
+        strategy=strategy,
+        slot_minutes=slot_minutes,
+        batch_size=batch_size,
+        default_k_rounds=k_rounds,
+        default_interval_hours=interval_hours,
+    )
+    data_rng = DeterministicRNG(f"{seed}-data")
+    violator = f"provider-{n_providers}" if violation else None
+    per_provider = [
+        n_files // n_providers + (1 if i < n_files % n_providers else 0)
+        for i in range(n_providers)
+    ]
+    for i in range(n_providers):
+        name = f"provider-{i + 1}"
+        site = PROVIDER_SITES[i]
+        fleet.add_provider(name, [(site, city(site))])
+        for j in range(per_provider[i]):
+            fleet.register(
+                tenant=f"tenant-{i + 1}",
+                provider=name,
+                datacentre=site,
+                file_id=f"{name}-file-{j + 1}".encode(),
+                data=data_rng.fork(f"{name}-{j}").random_bytes(file_bytes),
+                epsilon=(
+                    violation_epsilon if name == violator else honest_epsilon
+                ),
+            )
+    if violator is not None:
+        _install_violation(
+            fleet,
+            violator,
+            PROVIDER_SITES[n_providers - 1],
+            mode=violation,
+            epsilon=violation_epsilon,
+            seed=seed,
+        )
+    return fleet
+
+
+def _install_violation(
+    fleet: AuditFleet,
+    provider_name: str,
+    home_site: str,
+    *,
+    mode: str,
+    epsilon: float,
+    seed: str,
+) -> None:
+    """Make ``provider_name`` violate its SLAs in the requested mode."""
+    provider = fleet.provider(provider_name)
+    if mode == "corrupt":
+        provider.set_strategy(
+            CorruptionAttack(
+                home_site,
+                epsilon,
+                DeterministicRNG(f"{seed}-corruption"),
+            )
+        )
+        return
+    # Relay: the data was quietly moved offshore; the contracted site
+    # forwards every audit round over the Internet.
+    provider.add_datacentre(
+        DataCentre(RELAY_SITE, city(RELAY_SITE), disk=IBM_36Z15)
+    )
+    for task in fleet.tasks():
+        if task.provider_name == provider_name:
+            provider.relocate(task.file_id, RELAY_SITE)
+    provider.set_strategy(RelayAttack(home_site, RELAY_SITE))

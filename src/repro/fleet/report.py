@@ -1,0 +1,193 @@
+"""Aggregated results of a fleet audit run.
+
+A :class:`FleetReport` is the deliverable of
+:meth:`repro.fleet.fleet.AuditFleet.run`: per-tenant acceptance rates,
+violation-detection latencies, and the breakdown of GeoProof verdicts
+by failure mode, all rendered through the same ASCII formatting the
+paper-table benches use (:mod:`repro.analysis.reporting`).
+
+Everything here is a frozen dataclass built from deterministic inputs,
+so two runs of the same seeded fleet compare equal (`==`) field by
+field -- the determinism contract the fleet test suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.fleet.strategies import MS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One completed fleet audit (the report's raw material)."""
+
+    slot: int
+    tenant: str
+    provider: str
+    file_id: bytes
+    datacentre: str
+    at_ms: float
+    accepted: bool
+    max_rtt_ms: float
+    rtt_max_ms: float
+    failure_reasons: tuple[str, ...]
+
+    @property
+    def at_hours(self) -> float:
+        """Simulated hours since fleet start when this audit finished."""
+        return self.at_ms / MS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class TenantSummary:
+    """Acceptance accounting for one tenant."""
+
+    tenant: str
+    n_files: int
+    n_audits: int
+    n_accepted: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of this tenant's audits that were accepted."""
+        return self.n_accepted / self.n_audits if self.n_audits else 0.0
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """First detection of an SLA violation on one file."""
+
+    tenant: str
+    provider: str
+    file_id: bytes
+    detected_at_hours: float
+    failure_reasons: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """What a fleet run produced, aggregated for compliance reporting."""
+
+    strategy: str
+    simulated_hours: float
+    n_providers: int
+    n_files: int
+    n_batches: int
+    events: tuple[AuditEvent, ...]
+    tenants: tuple[TenantSummary, ...]
+    violations: tuple[ViolationRecord, ...]
+    #: ``(label, count)`` over audit verdicts: "accepted" plus one
+    #: entry per failure tag (timing/mac/gps/signature/challenge).
+    verdict_breakdown: tuple[tuple[str, int], ...]
+    #: Per-batch dispatch overhead avoided by batching audits per data
+    #: centre: ``(n_audits - n_batches) * dispatch_overhead_ms``.
+    overhead_saved_ms: float = 0.0
+
+    @property
+    def n_audits(self) -> int:
+        """Total audits performed across the run."""
+        return len(self.events)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fleet-wide fraction of accepted audits."""
+        if not self.events:
+            return 0.0
+        return sum(1 for e in self.events if e.accepted) / len(self.events)
+
+    @property
+    def audits_per_simulated_hour(self) -> float:
+        """Fleet throughput in audits per simulated hour."""
+        if self.simulated_hours <= 0:
+            return 0.0
+        return self.n_audits / self.simulated_hours
+
+    def detection_hours(
+        self, file_id: bytes, provider: str | None = None
+    ) -> float | None:
+        """Simulated hours to first detection on a file, if any.
+
+        Fleet identity is ``(provider, file_id)``; pass ``provider``
+        whenever the same file id may be registered with more than one
+        provider, otherwise the earliest match across providers wins.
+        """
+        hours = [
+            v.detected_at_hours
+            for v in self.violations
+            if v.file_id == file_id
+            and (provider is None or v.provider == provider)
+        ]
+        return min(hours) if hours else None
+
+    def first_detection_hours(self) -> float | None:
+        """Earliest violation detection across the fleet, if any."""
+        if not self.violations:
+            return None
+        return min(v.detected_at_hours for v in self.violations)
+
+    def tenant_summary(self, tenant: str) -> TenantSummary | None:
+        """Look up one tenant's acceptance accounting."""
+        for summary in self.tenants:
+            if summary.tenant == tenant:
+                return summary
+        return None
+
+    # -- rendering ------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII compliance report (tenants, verdicts, violations)."""
+        sections = [
+            format_table(
+                ["strategy", "sim hours", "providers", "files", "audits",
+                 "batches", "accept rate"],
+                [[
+                    self.strategy,
+                    self.simulated_hours,
+                    self.n_providers,
+                    self.n_files,
+                    self.n_audits,
+                    self.n_batches,
+                    self.acceptance_rate,
+                ]],
+                title="Fleet audit run",
+                decimals=3,
+            ),
+            format_table(
+                ["tenant", "files", "audits", "accepted", "rate"],
+                [
+                    [t.tenant, t.n_files, t.n_audits, t.n_accepted,
+                     t.acceptance_rate]
+                    for t in self.tenants
+                ],
+                title="Per-tenant acceptance",
+                decimals=3,
+            ),
+            format_table(
+                ["verdict", "audits"],
+                [list(row) for row in self.verdict_breakdown],
+                title="Verdict breakdown",
+            ),
+        ]
+        if self.violations:
+            sections.append(
+                format_table(
+                    ["tenant", "provider", "file", "detected (h)", "reasons"],
+                    [
+                        [
+                            v.tenant,
+                            v.provider,
+                            v.file_id.decode("utf-8", "replace"),
+                            v.detected_at_hours,
+                            "+".join(v.failure_reasons),
+                        ]
+                        for v in self.violations
+                    ],
+                    title="Violations detected",
+                    decimals=2,
+                )
+            )
+        else:
+            sections.append("Violations detected\n(none)")
+        return "\n\n".join(sections)

@@ -1,0 +1,234 @@
+"""Pluggable audit-scheduling strategies for the fleet engine.
+
+The fleet has finite audit capacity -- one batch of timed PoR/GeoProof
+audits per scheduling slot -- and many registered files competing for
+it.  *Which* file gets the next slot is the scheduling policy, and the
+right policy depends on the deployment: fairness for homogeneous
+tenants, risk-weighting when tenants declare different corruption
+tolerances, deadline-driven when SLAs promise a fixed audit cadence.
+
+The strategy contract is deliberately tiny:
+
+``rank(tasks, now_ms) -> list[AuditTask]``
+    Return the tasks in descending scheduling priority.  The fleet
+    audits the head of the ranking and then batches lower-ranked tasks
+    homed at the same data centre (see
+    :meth:`~repro.fleet.fleet.AuditFleet.run`).  Rankings must be
+    **deterministic**: equal-priority ties break on registration
+    order, never on dict/hash order, so a seeded fleet run always
+    produces an identical :class:`~repro.fleet.report.FleetReport`.
+
+Strategies never mutate tasks; all bookkeeping (last-audit times,
+audit counts) is owned by the fleet.
+
+Three built-in policies cover the paper-relevant space:
+
+* :class:`RoundRobinStrategy` -- fair rotation (least-recently-audited
+  first), the baseline every scheduling comparison starts from.
+* :class:`RiskWeightedStrategy` -- greedy expected-detection-gain
+  scheduling driven by the cumulative-detection math in
+  :mod:`repro.analysis.scheduling`.
+* :class:`DeadlineStrategy` -- earliest-deadline-first over each
+  file's SLA audit interval.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.por.analysis import detection_probability_binomial
+from repro.util.validation import check_positive, check_probability
+
+MS_PER_HOUR = 3_600_000.0
+
+
+@dataclass
+class AuditTask:
+    """One registered file's standing entry in the audit queue.
+
+    Attributes
+    ----------
+    tenant:
+        The data owner the file belongs to (report aggregation key).
+    provider_name / file_id:
+        Where the file is outsourced; together the queue key.
+    datacentre:
+        The *contracted* home site -- audits always go through the
+        verifier device on this site's LAN, regardless of where a
+        misbehaving provider actually serves from.
+    interval_hours:
+        The SLA audit cadence; feeds :class:`DeadlineStrategy`.
+    epsilon:
+        The corruption fraction this tenant must catch (their declared
+        risk tolerance); feeds :class:`RiskWeightedStrategy`.
+    k_rounds:
+        Timed challenge rounds per audit of this file.
+    order:
+        Registration sequence number; the universal deterministic
+        tie-break.
+    registered_ms / last_audit_ms / audits:
+        Fleet-maintained bookkeeping.
+    """
+
+    tenant: str
+    provider_name: str
+    file_id: bytes
+    datacentre: str
+    interval_hours: float
+    epsilon: float
+    k_rounds: int
+    order: int
+    registered_ms: float
+    last_audit_ms: float | None = None
+    audits: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("interval_hours", self.interval_hours)
+        check_probability("epsilon", self.epsilon)
+        if self.k_rounds <= 0:
+            raise ConfigurationError(
+                f"k_rounds must be positive, got {self.k_rounds}"
+            )
+
+    @property
+    def key(self) -> tuple[str, bytes]:
+        """The queue identity of this task."""
+        return (self.provider_name, self.file_id)
+
+    @property
+    def site(self) -> tuple[str, str]:
+        """The (provider, data centre) batching group."""
+        return (self.provider_name, self.datacentre)
+
+    def due_ms(self) -> float:
+        """When the SLA cadence next calls for an audit."""
+        anchor = (
+            self.last_audit_ms
+            if self.last_audit_ms is not None
+            else self.registered_ms
+        )
+        return anchor + self.interval_hours * MS_PER_HOUR
+
+    def exposure_hours(self, now_ms: float) -> float:
+        """Hours since this file was last audited (or registered)."""
+        anchor = (
+            self.last_audit_ms
+            if self.last_audit_ms is not None
+            else self.registered_ms
+        )
+        return max(0.0, (now_ms - anchor) / MS_PER_HOUR)
+
+    def per_audit_detection(self) -> float:
+        """P[one audit catches corruption at this task's epsilon]."""
+        return detection_probability_binomial(self.epsilon, self.k_rounds)
+
+
+class AuditStrategy(ABC):
+    """The scheduling-policy contract (see module docstring)."""
+
+    #: Short name used in reports and CLI flags.
+    name: str = "abstract"
+
+    @abstractmethod
+    def rank(
+        self, tasks: Sequence[AuditTask], now_ms: float
+    ) -> list[AuditTask]:
+        """Tasks in descending scheduling priority (deterministic)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinStrategy(AuditStrategy):
+    """Fair rotation: least-recently-audited first.
+
+    Never-audited tasks precede audited ones in registration order, so
+    a fresh fleet sweeps the queue exactly once before revisiting
+    anybody -- the classic round robin, expressed statelessly so the
+    same strategy object can serve multiple fleets.
+    """
+
+    name = "round-robin"
+
+    def rank(
+        self, tasks: Sequence[AuditTask], now_ms: float
+    ) -> list[AuditTask]:
+        """Sort by last audit time (never-audited first), then order."""
+        return sorted(
+            tasks,
+            key=lambda t: (
+                t.last_audit_ms if t.last_audit_ms is not None else -1.0,
+                t.order,
+            ),
+        )
+
+
+class RiskWeightedStrategy(AuditStrategy):
+    """Greedy expected-detection-gain scheduling.
+
+    Each audit of a file catches an epsilon-fraction corruption with
+    probability ``p = 1 - (1 - epsilon)^k``
+    (:func:`repro.por.analysis.detection_probability_binomial`, the
+    same math :mod:`repro.analysis.scheduling` builds schedules from).
+    A file that has gone ``h`` hours unaudited has accumulated ``h``
+    hours of undetected-violation exposure, so the expected exposure an
+    audit retires is ``p * (h + interval)`` -- the interval term
+    charges a freshly-registered file its full cadence of uncertainty,
+    which keeps the score risk-dominated at fleet start when every
+    exposure clock reads zero.
+    """
+
+    name = "risk-weighted"
+
+    def score(self, task: AuditTask, now_ms: float) -> float:
+        """Expected undetected-exposure hours retired by auditing now."""
+        return task.per_audit_detection() * (
+            task.exposure_hours(now_ms) + task.interval_hours
+        )
+
+    def rank(
+        self, tasks: Sequence[AuditTask], now_ms: float
+    ) -> list[AuditTask]:
+        """Sort by score, highest first; ties on registration order."""
+        return sorted(
+            tasks, key=lambda t: (-self.score(t, now_ms), t.order)
+        )
+
+
+class DeadlineStrategy(AuditStrategy):
+    """Earliest-deadline-first over the SLA audit intervals.
+
+    Each task is due ``interval_hours`` after its last audit (or its
+    registration); the most overdue file always wins the slot.  This
+    is the policy that minimises worst-case cadence violation when the
+    fleet has enough capacity, at the cost of ignoring risk entirely.
+    """
+
+    name = "deadline"
+
+    def rank(
+        self, tasks: Sequence[AuditTask], now_ms: float
+    ) -> list[AuditTask]:
+        """Sort by due time, earliest first; ties on registration order."""
+        return sorted(tasks, key=lambda t: (t.due_ms(), t.order))
+
+
+#: Registry used by the CLI/bench to resolve ``--strategy`` flags.
+STRATEGIES: dict[str, type[AuditStrategy]] = {
+    RoundRobinStrategy.name: RoundRobinStrategy,
+    RiskWeightedStrategy.name: RiskWeightedStrategy,
+    DeadlineStrategy.name: DeadlineStrategy,
+}
+
+
+def make_strategy(name: str) -> AuditStrategy:
+    """Instantiate a registered strategy by name (CLI helper)."""
+    if name not in STRATEGIES:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; available: "
+            f"{', '.join(sorted(STRATEGIES))}"
+        )
+    return STRATEGIES[name]()

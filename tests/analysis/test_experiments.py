@@ -13,6 +13,9 @@ from repro.analysis.experiments import (
 )
 
 
+# The figure sweeps run many full audits per test: slow lane.
+pytestmark = pytest.mark.slow
+
 class TestTable1:
     def test_five_rows_sorted_by_latency(self):
         rows = table1_hdd_latency()

@@ -15,6 +15,9 @@ from repro.storage.hdd import IBM_36Z15
 from tests.conftest import build_session
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 def add_remote(session, name="remote", where="singapore", disk=IBM_36Z15):
     session.provider.add_datacentre(DataCentre(name, city(where), disk=disk))
 

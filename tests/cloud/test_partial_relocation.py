@@ -10,6 +10,9 @@ from repro.storage.hdd import IBM_36Z15
 from tests.conftest import build_session
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 def relocated_session(local_fraction, seed="partial"):
     session, file_id, _ = build_session(seed)
     session.provider.add_datacentre(

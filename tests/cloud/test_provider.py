@@ -10,6 +10,9 @@ from repro.por.setup import setup_file
 from repro.storage.hdd import HDDModel, IBM_36Z15, WD_2500JD
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 @pytest.fixture
 def provider(keys, sample_data, brisbane):
     provider = CloudProvider("acme")

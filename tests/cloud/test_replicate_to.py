@@ -9,6 +9,9 @@ from repro.por.parameters import TEST_PARAMS
 from repro.por.setup import PORKeys, setup_file
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 @pytest.fixture
 def two_site_provider(keys, sample_data):
     provider = CloudProvider("acme")

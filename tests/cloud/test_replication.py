@@ -19,6 +19,9 @@ from repro.netsim.clock import SimClock
 from repro.por.parameters import TEST_PARAMS
 from repro.por.setup import PORKeys, setup_file
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 SITES = ["sydney", "perth", "singapore"]
 
 

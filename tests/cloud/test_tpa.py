@@ -6,6 +6,9 @@ from repro.errors import ConfigurationError
 from tests.conftest import build_session
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 class TestRegistration:
     def test_duplicate_registration_rejected(self):
         session, file_id, _ = build_session("tpa-dup")

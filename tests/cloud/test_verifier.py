@@ -14,6 +14,9 @@ from repro.por.parameters import TEST_PARAMS
 from repro.por.setup import setup_file
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 @pytest.fixture
 def deployment(keys, sample_data, brisbane):
     provider = CloudProvider("acme")

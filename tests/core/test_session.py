@@ -11,6 +11,9 @@ from repro.por.setup import extract_file, setup_file
 from tests.conftest import build_session
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 class TestBuild:
     def test_default_region_around_datacentre(self, brisbane):
         session = GeoProofSession.build(datacentre_location=brisbane)

@@ -14,6 +14,9 @@ from repro.por.file_format import Segment
 from tests.conftest import build_session
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 @pytest.fixture
 def audited():
     """An honest audit plus everything needed to re-verify it."""

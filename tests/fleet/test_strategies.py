@@ -1,0 +1,158 @@
+"""Strategy-ordering unit tests: rankings are exact and deterministic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.strategies import (
+    MS_PER_HOUR,
+    AuditTask,
+    DeadlineStrategy,
+    RiskWeightedStrategy,
+    RoundRobinStrategy,
+    make_strategy,
+)
+
+
+def task(
+    order: int,
+    *,
+    epsilon: float = 0.05,
+    interval_hours: float = 6.0,
+    last_audit_ms: float | None = None,
+    registered_ms: float = 0.0,
+    datacentre: str = "bne",
+    provider: str = "acme",
+) -> AuditTask:
+    return AuditTask(
+        tenant=f"tenant-{order}",
+        provider_name=provider,
+        file_id=f"file-{order}".encode(),
+        datacentre=datacentre,
+        interval_hours=interval_hours,
+        epsilon=epsilon,
+        k_rounds=10,
+        order=order,
+        registered_ms=registered_ms,
+        last_audit_ms=last_audit_ms,
+    )
+
+
+def ranking(strategy, tasks, now_ms=0.0):
+    return [t.order for t in strategy.rank(tasks, now_ms)]
+
+
+class TestAuditTask:
+    def test_due_follows_last_audit(self):
+        t = task(0, interval_hours=2.0, last_audit_ms=MS_PER_HOUR)
+        assert t.due_ms() == pytest.approx(3 * MS_PER_HOUR)
+
+    def test_due_follows_registration_when_never_audited(self):
+        t = task(0, interval_hours=2.0, registered_ms=MS_PER_HOUR)
+        assert t.due_ms() == pytest.approx(3 * MS_PER_HOUR)
+
+    def test_exposure_clamped_non_negative(self):
+        t = task(0, registered_ms=MS_PER_HOUR)
+        assert t.exposure_hours(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            task(0, epsilon=1.5)
+        with pytest.raises(ConfigurationError):
+            task(0, interval_hours=0.0)
+
+
+class TestRoundRobin:
+    def test_fresh_queue_follows_registration_order(self):
+        tasks = [task(2), task(0), task(1)]
+        assert ranking(RoundRobinStrategy(), tasks) == [0, 1, 2]
+
+    def test_least_recently_audited_first(self):
+        tasks = [
+            task(0, last_audit_ms=300.0),
+            task(1, last_audit_ms=100.0),
+            task(2, last_audit_ms=200.0),
+        ]
+        assert ranking(RoundRobinStrategy(), tasks, 400.0) == [1, 2, 0]
+
+    def test_never_audited_precede_audited(self):
+        tasks = [task(0, last_audit_ms=5.0), task(1)]
+        assert ranking(RoundRobinStrategy(), tasks, 10.0) == [1, 0]
+
+    def test_full_rotation_is_fair(self):
+        """Simulating pick-then-update sweeps every task exactly once."""
+        tasks = [task(i) for i in range(5)]
+        strategy = RoundRobinStrategy()
+        picked = []
+        for step in range(5):
+            head = strategy.rank(tasks, float(step))[0]
+            picked.append(head.order)
+            head.last_audit_ms = float(step)
+        assert picked == [0, 1, 2, 3, 4]
+
+
+class TestRiskWeighted:
+    def test_higher_epsilon_wins_at_start(self):
+        tasks = [task(0, epsilon=0.02), task(1, epsilon=0.20)]
+        assert ranking(RiskWeightedStrategy(), tasks) == [1, 0]
+
+    def test_neglect_eventually_beats_risk(self):
+        """A low-risk file left unaudited long enough takes the slot."""
+        strategy = RiskWeightedStrategy()
+        risky = task(0, epsilon=0.20, last_audit_ms=0.0)
+        stale = task(1, epsilon=0.02, last_audit_ms=0.0)
+        now = 0.0
+        assert ranking(strategy, [risky, stale], now)[0] == 0
+        # After enough neglect the stale file's accumulated exposure
+        # dominates the risky file's per-audit detection edge.
+        risky.last_audit_ms = 199 * MS_PER_HOUR
+        assert ranking(strategy, [risky, stale], 200 * MS_PER_HOUR)[0] == 1
+
+    def test_score_is_detection_times_exposure(self):
+        strategy = RiskWeightedStrategy()
+        t = task(0, epsilon=0.10, interval_hours=6.0, last_audit_ms=0.0)
+        p = 1.0 - 0.9**10
+        assert strategy.score(t, 4 * MS_PER_HOUR) == pytest.approx(p * 10.0)
+
+    def test_tie_breaks_on_registration_order(self):
+        tasks = [task(1), task(0)]
+        assert ranking(RiskWeightedStrategy(), tasks) == [0, 1]
+
+
+class TestDeadline:
+    def test_earliest_due_first(self):
+        tasks = [
+            task(0, interval_hours=8.0),
+            task(1, interval_hours=2.0),
+            task(2, interval_hours=4.0),
+        ]
+        assert ranking(DeadlineStrategy(), tasks) == [1, 2, 0]
+
+    def test_recent_audit_pushes_deadline_back(self):
+        tasks = [
+            task(0, interval_hours=2.0, last_audit_ms=5 * MS_PER_HOUR),
+            task(1, interval_hours=2.0, last_audit_ms=1 * MS_PER_HOUR),
+        ]
+        assert ranking(DeadlineStrategy(), tasks, 6 * MS_PER_HOUR) == [1, 0]
+
+    def test_tie_breaks_on_registration_order(self):
+        tasks = [task(1), task(0)]
+        assert ranking(DeadlineStrategy(), tasks) == [0, 1]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("round-robin", RoundRobinStrategy),
+            ("risk-weighted", RiskWeightedStrategy),
+            ("deadline", DeadlineStrategy),
+        ],
+    )
+    def test_make_strategy(self, name, cls):
+        strategy = make_strategy(name)
+        assert isinstance(strategy, cls)
+        assert strategy.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("random")

@@ -1,0 +1,127 @@
+"""GF(256) algebra laws over seeded random sweeps.
+
+The hypothesis tests in ``test_gf256.py`` sample the field axioms;
+these sweeps pin them over wide, *seeded* element sets (hundreds of
+deterministic triples per law) and extend the laws one level up to the
+polynomial ring :mod:`repro.gf.poly`, whose Reed-Solomon callers
+implicitly rely on ring axioms the unit tests never stated.
+"""
+
+import random
+
+import pytest
+
+from repro.gf.gf256 import GF256
+from repro.gf.poly import Poly
+
+#: Independent seeds so one bad interaction cannot hide behind one draw.
+SEEDS = [7, 1912, 65537]
+
+
+def triples(seed, n=300):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(256), rng.randrange(256), rng.randrange(256))
+        for _ in range(n)
+    ]
+
+
+def random_poly(rng, max_degree=6):
+    return Poly([rng.randrange(256) for _ in range(rng.randrange(1, max_degree + 2))])
+
+
+class TestFieldLaws:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mul_associative(self, seed):
+        for a, b, c in triples(seed):
+            assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_add_associative(self, seed):
+        for a, b, c in triples(seed):
+            assert GF256.add(GF256.add(a, b), c) == GF256.add(a, GF256.add(b, c))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_distributive_both_sides(self, seed):
+        for a, b, c in triples(seed):
+            left = GF256.mul(a, GF256.add(b, c))
+            assert left == GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+            right = GF256.mul(GF256.add(b, c), a)
+            assert left == right
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_inverse_round_trips(self, seed):
+        rng = random.Random(seed)
+        for _ in range(300):
+            a = rng.randrange(1, 256)
+            assert GF256.inv(GF256.inv(a)) == a
+            assert GF256.mul(a, GF256.inv(a)) == 1
+            b = rng.randrange(1, 256)
+            # div is mul-by-inverse, and the two round-trip.
+            assert GF256.mul(GF256.div(a, b), b) == a
+            assert GF256.div(GF256.mul(a, b), b) == a
+
+    def test_every_nonzero_element_has_unique_inverse(self):
+        inverses = {GF256.inv(a) for a in range(1, 256)}
+        assert inverses == set(range(1, 256))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pow_respects_group_order(self, seed):
+        rng = random.Random(seed)
+        for _ in range(100):
+            a = rng.randrange(1, 256)
+            # The multiplicative group has order 255.
+            assert GF256.pow(a, 255) == 1
+            assert GF256.pow(a, 256) == a
+            exponent = rng.randrange(-500, 500)
+            assert GF256.pow(a, exponent) == GF256.pow(a, exponent % 255)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_log_exp_round_trip(self, seed):
+        rng = random.Random(seed)
+        for _ in range(200):
+            a = rng.randrange(1, 256)
+            assert GF256.exp(GF256.log(a)) == a
+            power = rng.randrange(0, 255)
+            assert GF256.log(GF256.exp(power)) == power
+
+
+class TestPolynomialRingLaws:
+    """The ring GF(256)[x] inherits the field's laws coefficient-wise."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mul_associative_and_commutative(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            p, q, r = (random_poly(rng) for _ in range(3))
+            assert (p * q) * r == p * (q * r)
+            assert p * q == q * p
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_distributive(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            p, q, r = (random_poly(rng) for _ in range(3))
+            assert p * (q + r) == p * q + p * r
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_divmod_round_trips(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            p = random_poly(rng)
+            divisor = random_poly(rng)
+            if divisor.is_zero():
+                continue
+            quotient, remainder = p.divmod(divisor)
+            assert quotient * divisor + remainder == p
+            if not remainder.is_zero():
+                assert remainder.degree < divisor.degree
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_evaluation_is_a_ring_homomorphism(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            p, q = random_poly(rng), random_poly(rng)
+            x = rng.randrange(256)
+            assert (p + q).eval(x) == GF256.add(p.eval(x), q.eval(x))
+            assert (p * q).eval(x) == GF256.mul(p.eval(x), q.eval(x))

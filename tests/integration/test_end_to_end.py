@@ -17,6 +17,9 @@ from repro.storage.hdd import IBM_36Z15
 from tests.conftest import build_session
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 class TestHonestLifecycle:
     def test_outsource_audit_extract(self):
         """The full data-owner story: upload, audit repeatedly, recover."""

@@ -19,6 +19,9 @@ from repro.por.parameters import PORParams
 from repro.por.setup import extract_file
 from repro.storage.hdd import IBM_36Z15
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 BRISBANE = GeoPoint(-27.4698, 153.0251)
 
 

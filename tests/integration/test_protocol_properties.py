@@ -24,6 +24,9 @@ from repro.por.file_format import Segment
 from repro.por.parameters import TEST_PARAMS
 from repro.por.setup import extract_file
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 BRISBANE = GeoPoint(-27.4698, 153.0251)
 
 _slow = settings(

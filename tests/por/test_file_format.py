@@ -8,6 +8,9 @@ from repro.por.parameters import TEST_PARAMS
 from repro.por.setup import PORKeys, setup_file
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 @pytest.fixture
 def encoded(keys, sample_data):
     return setup_file(sample_data, keys, b"fmt-test", TEST_PARAMS)

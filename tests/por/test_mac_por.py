@@ -9,6 +9,9 @@ from repro.por.parameters import TEST_PARAMS
 from repro.por.setup import setup_file
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 @pytest.fixture
 def por_pair(keys, sample_data):
     encoded = setup_file(sample_data, keys, b"por-test", TEST_PARAMS)

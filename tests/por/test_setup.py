@@ -10,6 +10,9 @@ from repro.por.parameters import PORParams, TEST_PARAMS
 from repro.por.setup import PORKeys, extract_file, setup_file
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 class TestKeys:
     def test_derivation_deterministic(self):
         a = PORKeys.derive(b"master-key-16byte")

@@ -9,6 +9,9 @@ from repro.por.setup import setup_file
 from repro.storage.backend import ObjectStore
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 @pytest.fixture
 def store_with_file(keys, sample_data):
     store = ObjectStore()

@@ -33,6 +33,96 @@ class TestBasicOperations:
         assert cache.n_entries == 1
 
 
+class TestAdversarialEdges:
+    """The shapes a prefetching adversary would actually hit."""
+
+    def test_entry_larger_than_capacity_not_cached(self):
+        cache = LRUCache(4)
+        cache.put("big", b"12345")
+        assert cache.get("big") is None
+        assert cache.n_entries == 0
+        assert cache.used_bytes == 0
+
+    def test_oversized_entry_does_not_evict_existing(self):
+        cache = LRUCache(4)
+        cache.put("keep", b"1234")
+        cache.put("big", b"12345")  # rejected, must not disturb "keep"
+        assert cache.get("keep") == b"1234"
+        assert cache.used_bytes == 4
+
+    def test_exact_capacity_entry_is_cached(self):
+        cache = LRUCache(4)
+        cache.put("fit", b"1234")
+        assert cache.get("fit") == b"1234"
+        assert cache.used_bytes == 4
+
+    def test_zero_capacity_caches_nothing(self):
+        cache = LRUCache(0)
+        cache.put("k", b"v")
+        assert cache.get("k") is None
+        assert cache.n_entries == 0
+        # Only the empty value fits a zero-byte budget.
+        cache.put("empty", b"")
+        assert cache.get("empty") == b""
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(-1)
+
+    def test_eviction_order_under_repeated_get_refreshes(self):
+        cache = LRUCache(9)
+        cache.put("a", b"111")
+        cache.put("b", b"222")
+        cache.put("c", b"333")
+        # Refresh a twice and c once: eviction order must become b, a.
+        cache.get("a")
+        cache.get("c")
+        cache.get("a")
+        cache.put("d", b"444")  # evicts b (least recently used)
+        assert cache.get("b") is None
+        assert cache.get("a") == b"111"
+        cache.put("e", b"555")  # evicts c (a was refreshed again above)
+        assert cache.get("c") is None
+        assert cache.get("a") == b"111"
+        assert cache.get("e") == b"555"
+
+    def test_put_refresh_also_updates_recency(self):
+        cache = LRUCache(6)
+        cache.put("a", b"111")
+        cache.put("b", b"222")
+        cache.put("a", b"111")  # re-put refreshes a
+        cache.put("c", b"333")  # so b is the LRU victim
+        assert cache.get("b") is None
+        assert cache.get("a") == b"111"
+
+    def test_hit_rate_accounting_through_eviction(self):
+        cache = LRUCache(6)
+        cache.put("a", b"111")
+        cache.put("b", b"222")
+        assert cache.get("a") == b"111"      # hit
+        cache.put("c", b"333")               # evicts b
+        assert cache.get("b") is None        # miss
+        assert cache.get("c") == b"333"      # hit
+        assert cache.get("ghost") is None    # miss
+        assert cache.hits == 2
+        assert cache.misses == 2
+        assert cache.hit_rate == pytest.approx(0.5)
+        # Rejected oversized puts must not count as lookups.
+        cache.put("big", b"1234567")
+        assert cache.hits + cache.misses == 4
+
+    def test_clear_resets_accounting(self):
+        cache = LRUCache(10)
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.get("x")
+        cache.clear()
+        assert cache.hit_rate == 0.0
+        assert cache.used_bytes == 0
+        assert cache.n_entries == 0
+        assert cache.get("a") is None
+
+
 class TestEviction:
     def test_lru_order(self):
         cache = LRUCache(10)

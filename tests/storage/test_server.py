@@ -9,6 +9,9 @@ from repro.storage.hdd import HDDModel, IBM_36Z15, WD_2500JD
 from repro.storage.server import StorageServer
 
 
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
 @pytest.fixture
 def loaded_server(keys, sample_data):
     server = StorageServer(WD_2500JD)

@@ -81,6 +81,44 @@ class TestAudit:
         assert "mac" in out
 
 
+class TestFleet:
+    def test_corrupt_fleet_detected_exit_zero(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--files", "9",
+                "--hours", "6",
+                "--slot-minutes", "30",
+                "--seed", "cli-test",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fleet audit run" in out
+        assert "risk-weighted" in out
+        assert "first violation detected" in out
+        assert "batches" in out
+
+    def test_honest_fleet_reports_no_violations(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--files", "6",
+                "--hours", "3",
+                "--violation", "none",
+                "--strategy", "round-robin",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(none)" in out
+        assert "1.000" in out  # every tenant fully accepted
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--strategy", "random"])
+
+
 class TestAnalyse:
     def test_paper_scale(self, capsys):
         code = main(

@@ -15,6 +15,7 @@ PUBLIC_PACKAGES = [
     "repro.crypto",
     "repro.distbound",
     "repro.erasure",
+    "repro.fleet",
     "repro.geo",
     "repro.geoloc",
     "repro.gf",

@@ -90,6 +90,76 @@ class TestLists:
         assert offset == len(blob)
 
 
+class TestOffsetRoundTrips:
+    """Decoding must work mid-stream: any prefix, any interleaving."""
+
+    @given(st.binary(max_size=32), st.lists(st.integers(0, 2**64 - 1), max_size=20))
+    def test_uint_list_decodes_after_arbitrary_prefix(self, prefix, values):
+        data = prefix + encode_uint_list(values)
+        decoded, offset = decode_uint_list(data, len(prefix))
+        assert decoded == values
+        assert offset == len(data)
+
+    @given(st.binary(max_size=32), st.lists(st.binary(max_size=32), max_size=10))
+    def test_bytes_list_decodes_after_arbitrary_prefix(self, prefix, items):
+        data = prefix + encode_bytes_list(items)
+        decoded, offset = decode_bytes_list(data, len(prefix))
+        assert decoded == items
+        assert offset == len(data)
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), max_size=10),
+        st.lists(st.binary(max_size=16), max_size=10),
+        st.lists(st.floats(allow_nan=False), max_size=10),
+    )
+    def test_heterogeneous_stream_round_trips(self, uints, blobs, floats):
+        """Concatenated structures parse back as straight-line code."""
+        stream = (
+            encode_uint_list(uints)
+            + encode_bytes_list(blobs)
+            + encode_float_list(floats)
+        )
+        decoded_uints, offset = decode_uint_list(stream)
+        decoded_blobs, offset = decode_bytes_list(stream, offset)
+        decoded_floats, offset = decode_float_list(stream, offset)
+        assert decoded_uints == uints
+        assert decoded_blobs == blobs
+        assert decoded_floats == floats
+        assert offset == len(stream)
+
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=20))
+    def test_uint_list_width_is_fixed(self, values):
+        """Count word plus one 8-byte word per element, exactly."""
+        assert len(encode_uint_list(values)) == 8 * (len(values) + 1)
+
+
+class TestMalformedStreams:
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=20))
+    def test_truncated_uint_list_raises(self, values):
+        encoded = encode_uint_list(values)
+        with pytest.raises(ProtocolError):
+            decode_uint_list(encoded[:-1])
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=10))
+    def test_truncated_bytes_list_raises(self, items):
+        encoded = encode_bytes_list(items)
+        with pytest.raises(ProtocolError):
+            decode_bytes_list(encoded[:-1])
+
+    def test_overstated_count_raises(self):
+        # A count word promising more elements than the stream holds.
+        encoded = encode_uint(3) + encode_uint(1) + encode_uint(2)
+        with pytest.raises(ProtocolError):
+            decode_uint_list(encoded)
+
+    def test_float_special_values_round_trip(self):
+        for value in (0.0, -0.0, float("inf"), float("-inf"), 1e-308):
+            decoded, _ = decode_float(encode_float(value))
+            assert decoded == value
+            # IEEE-754 bit-exactness: -0.0 keeps its sign.
+            assert str(decoded) == str(value)
+
+
 class TestCanonicity:
     """No two distinct logical values may share an encoding."""
 
