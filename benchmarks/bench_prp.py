@@ -1,0 +1,161 @@
+"""Scalar vs batch Feistel permutation throughput (the setup hot path).
+
+ROADMAP's profiling item: ``crypto.prp.permute_list`` dominated
+``setup_file`` (~65 % of outsourcing cost) because every block position
+paid its own HMAC chain per Feistel round per cycle-walk step.  The
+batch engine evaluates each round once per *distinct* half-value and
+walks all positions as a shrinking frontier, so the same permutation
+costs ``O(rounds * sqrt(n))`` digests instead of ``O(rounds * n)``.
+
+Runs standalone (no pytest needed) and doubles as the CI smoke bench::
+
+    python benchmarks/bench_prp.py --quick --out BENCH_prp.json
+
+It measures blocks/sec for the legacy scalar path (per-index
+``forward`` on a fresh instance, exactly what ``permute_list`` used to
+do) against the batch ``permute_list``, asserts the >= 5x acceptance
+bar on the 10k-block domain, and writes the numbers as JSON so CI
+archives a machine-readable record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.reporting import format_table  # noqa: E402
+from repro.crypto.prp import BlockPermutation  # noqa: E402
+
+#: Domain sizes measured by the full run; --quick keeps the first two.
+DOMAIN_SIZES = [1_000, 10_000, 50_000]
+
+#: Acceptance bar: batch must beat scalar by at least this factor on
+#: the 10k-block domain (ISSUE 2 / ROADMAP hot-path item).
+MIN_SPEEDUP_10K = 5.0
+
+KEY = b"bench-prp-key"
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_scalar(n: int) -> float:
+    """Seconds to permute ``n`` items the pre-batch way.
+
+    A fresh instance's ``forward`` never consults a cached table, so
+    this is byte-for-byte the legacy ``permute_list`` loop: one cycle
+    walk (six HMACs per step) per index.
+    """
+    perm = BlockPermutation(KEY, n)
+    items = list(range(n))
+
+    def run() -> None:
+        out = [None] * n
+        for i, item in enumerate(items):
+            out[perm.forward(i)] = item
+
+    return _time(run)
+
+
+def bench_batch(n: int) -> float:
+    """Seconds for the batch ``permute_list`` (table built per call)."""
+    items = list(range(n))
+
+    def run() -> None:
+        BlockPermutation(KEY, n).permute_list(items)
+
+    return _time(run)
+
+
+def run_bench(sizes: list[int]) -> list[dict]:
+    """Measure both paths per size; sanity-check they agree."""
+    rows = []
+    for n in sizes:
+        check = list(range(n))
+        perm = BlockPermutation(KEY, n)
+        assert perm.unpermute_list(perm.permute_list(check)) == check
+        scalar_perm = BlockPermutation(KEY, n)
+        assert perm.forward_many(range(min(n, 64))) == [
+            scalar_perm.forward(i) for i in range(min(n, 64))
+        ]
+        scalar_s = bench_scalar(n)
+        batch_s = bench_batch(n)
+        rows.append(
+            {
+                "blocks": n,
+                "scalar_blocks_per_sec": n / scalar_s,
+                "batch_blocks_per_sec": n / batch_s,
+                "speedup": scalar_s / batch_s,
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: only the 1k and 10k domains",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_prp.json"),
+        help="where to write the JSON record (default: ./BENCH_prp.json)",
+    )
+    args = parser.parse_args(argv)
+    sizes = DOMAIN_SIZES[:2] if args.quick else DOMAIN_SIZES
+
+    rows = run_bench(sizes)
+    print(
+        format_table(
+            ["blocks", "scalar blk/s", "batch blk/s", "speedup"],
+            [
+                [
+                    r["blocks"],
+                    r["scalar_blocks_per_sec"],
+                    r["batch_blocks_per_sec"],
+                    r["speedup"],
+                ]
+                for r in rows
+            ],
+            title="Feistel permutation throughput: scalar vs batch engine",
+            decimals=1,
+        )
+    )
+
+    record = {
+        "bench": "prp",
+        "unit": "blocks/sec",
+        "min_speedup_10k": MIN_SPEEDUP_10K,
+        "rows": rows,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    row_10k = next(r for r in rows if r["blocks"] == 10_000)
+    if row_10k["speedup"] < MIN_SPEEDUP_10K:
+        print(
+            f"FAIL: 10k-block speedup {row_10k['speedup']:.1f}x "
+            f"< required {MIN_SPEEDUP_10K:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: 10k-block speedup {row_10k['speedup']:.1f}x "
+        f">= {MIN_SPEEDUP_10K:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,9 @@ scratch on top of :mod:`hashlib`'s SHA-256:
   tags on POR segments).
 * :mod:`repro.crypto.prp` -- a Luby-Rackoff Feistel pseudorandom
   permutation over an arbitrary domain ``[0, n)`` via cycle-walking,
-  used to shuffle file blocks in the POR setup phase.
+  used to shuffle file blocks in the POR setup phase; the batch
+  engine (``forward_many`` / ``permutation_table``) evaluates whole
+  permutations round-major and is the setup hot path.
 * :mod:`repro.crypto.schnorr` -- Schnorr signatures over a Schnorr
   group; the verifier device signs its protocol transcripts.
 * :mod:`repro.crypto.rng` -- a deterministic HMAC-DRBG used wherever the
@@ -22,7 +24,7 @@ scratch on top of :mod:`hashlib`'s SHA-256:
 from repro.crypto.aes import AES, aes_ctr_decrypt, aes_ctr_encrypt
 from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
 from repro.crypto.mac import mac_tag, mac_verify
-from repro.crypto.prf import prf, prf_int, prf_stream
+from repro.crypto.prf import prf, prf_int, prf_many, prf_stream
 from repro.crypto.prp import BlockPermutation, FeistelPRP
 from repro.crypto.rng import DeterministicRNG
 from repro.crypto.schnorr import (
@@ -44,6 +46,7 @@ __all__ = [
     "mac_verify",
     "prf",
     "prf_int",
+    "prf_many",
     "prf_stream",
     "FeistelPRP",
     "BlockPermutation",

@@ -4,17 +4,29 @@ All keyed pseudorandomness in the library -- challenge derivation, the
 Feistel PRP's round functions, the Hancke-Kuhn register derivation --
 bottoms out here.  Domain separation is by an explicit ``label``
 argument, so different uses of the same key cannot collide.
+
+:func:`prf_many` is the batch entry point: it runs the HMAC key
+schedule once and evaluates the PRF for a whole list of messages,
+byte-identical to calling :func:`prf` per message.  Hot paths (the
+Feistel permutation engine) use it to amortise the two key-pad
+compressions HMAC pays per fresh key.
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
+from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError
 from repro.util.bitops import ceil_div
 
 DIGEST_SIZE = hashlib.sha256().digest_size  # 32 bytes
+
+
+def _check_label(label: bytes) -> None:
+    if b"\x00" in label:
+        raise ConfigurationError("PRF labels must not contain NUL bytes")
 
 
 def prf(key: bytes, label: bytes, message: bytes = b"") -> bytes:
@@ -24,9 +36,31 @@ def prf(key: bytes, label: bytes, message: bytes = b"") -> bytes:
     long as labels never contain a zero byte; library-internal labels
     are short ASCII tags so this holds by construction.
     """
-    if b"\x00" in label:
-        raise ConfigurationError("PRF labels must not contain NUL bytes")
+    _check_label(label)
     return hmac.new(key, label + b"\x00" + message, hashlib.sha256).digest()
+
+
+def prf_many(
+    key: bytes, label: bytes, messages: Iterable[bytes]
+) -> Iterator[bytes]:
+    """Yield ``prf(key, label, m)`` for each message, sharing key setup.
+
+    ``hmac.new`` pays two SHA-256 compressions to absorb the padded key
+    before any message byte; this helper pays them once, then clones
+    the primed state per message, so each digest costs only the message
+    compressions.  Output is byte-identical to per-message :func:`prf`,
+    including eager label validation at the call site.
+    """
+    _check_label(label)
+    base = hmac.new(key, label + b"\x00", hashlib.sha256)
+
+    def digests() -> Iterator[bytes]:
+        for message in messages:
+            clone = base.copy()
+            clone.update(message)
+            yield clone.digest()
+
+    return digests()
 
 
 def prf_stream(key: bytes, label: bytes, message: bytes, n_bytes: int) -> bytes:
@@ -37,17 +71,23 @@ def prf_stream(key: bytes, label: bytes, message: bytes, n_bytes: int) -> bytes:
     """
     if n_bytes < 0:
         raise ConfigurationError(f"n_bytes must be >= 0, got {n_bytes}")
-    blocks = []
-    for counter in range(ceil_div(n_bytes, DIGEST_SIZE)):
-        blocks.append(prf(key, label, message + counter.to_bytes(4, "big")))
+    blocks = prf_many(
+        key,
+        label,
+        (
+            message + counter.to_bytes(4, "big")
+            for counter in range(ceil_div(n_bytes, DIGEST_SIZE))
+        ),
+    )
     return b"".join(blocks)[:n_bytes]
 
 
 def prf_int(key: bytes, label: bytes, message: bytes, upper: int) -> int:
     """Return a pseudorandom integer uniform in ``[0, upper)``.
 
-    Uses rejection sampling over 8-byte chunks of :func:`prf_stream`
-    output, so the result is exactly uniform (no modulo bias).
+    Uses rejection sampling over :func:`prf`/:func:`prf_stream` chunks
+    sized to cover ``upper``'s full bit length, so the result is
+    exactly uniform (no modulo bias) for arbitrarily large bounds.
     """
     if upper <= 0:
         raise ConfigurationError(f"upper must be positive, got {upper}")
@@ -58,9 +98,14 @@ def prf_int(key: bytes, label: bytes, message: bytes, upper: int) -> int:
     mask = (1 << n_bits) - 1
     counter = 0
     while True:
-        chunk = prf(
-            key, label, message + b"|rej|" + counter.to_bytes(4, "big")
-        )[:n_bytes]
+        chunk_message = message + b"|rej|" + counter.to_bytes(4, "big")
+        if n_bytes <= DIGEST_SIZE:
+            chunk = prf(key, label, chunk_message)[:n_bytes]
+        else:
+            # One digest cannot cover upper's bit length: without the
+            # counter-mode expansion the mask would reach past the
+            # sampled bytes and values >= 2^256 could never be drawn.
+            chunk = prf_stream(key, label, chunk_message, n_bytes)
         candidate = int.from_bytes(chunk, "big") & mask
         if candidate < upper:
             return candidate

@@ -283,6 +283,16 @@ class AuditFleet:
         """Registered files across all providers."""
         return len(self._tasks)
 
+    @property
+    def total_setup_seconds(self) -> float:
+        """Wall time spent in the POR setup pipeline across all files.
+
+        The fleet's outsourcing phase is dominated by `setup_file` (and
+        within it the block permutation); benchmarks read this to track
+        the hot path without re-instrumenting registration.
+        """
+        return sum(r.setup_seconds for r in self._records.values())
+
     # -- auditing --------------------------------------------------------
 
     def audit_once(self, task: AuditTask) -> AuditOutcome:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.aes import aes_ctr_encrypt
-from repro.crypto.prf import prf_int, prf_stream
+from repro.crypto.prf import prf_stream
 from repro.crypto.prp import BlockPermutation
 from repro.erasure.striping import BlockStriper
 from repro.errors import BlockNotFoundError, ConfigurationError, ProtocolError
@@ -83,6 +83,7 @@ class SentinelPORClient:
         self._key = master_key
         self._consumed = 0
         self._n_total_blocks: int | None = None
+        self._permutation: BlockPermutation | None = None
 
     # -- encode -----------------------------------------------------------
 
@@ -117,21 +118,40 @@ class SentinelPORClient:
         with_sentinels = encrypted + [
             self._sentinel_value(s) for s in range(self.n_sentinels)
         ]
-        permutation = BlockPermutation(
-            prf_stream(self._key, b"sentinel-perm-key", self.file_id, 32),
-            len(with_sentinels),
-        )
+        permutation = self._permutation_for(len(with_sentinels))
         self._n_total_blocks = len(with_sentinels)
         return permutation.permute_list(with_sentinels)
 
+    def _permutation_for(self, n_total_blocks: int) -> BlockPermutation:
+        """The (cached) encode-time permutation over ``n_total_blocks``.
+
+        Caching matters: encode already materialised the permutation
+        table, so later sentinel-position lookups are O(1) instead of
+        one fresh cycle walk (six HMACs per step) each.
+        """
+        if (
+            self._permutation is None
+            or self._permutation.size != n_total_blocks
+        ):
+            self._permutation = BlockPermutation(
+                prf_stream(self._key, b"sentinel-perm-key", self.file_id, 32),
+                n_total_blocks,
+            )
+        return self._permutation
+
+    def _sentinel_positions(
+        self, sentinel_ids: tuple[int, ...], n_total_blocks: int
+    ) -> tuple[int, ...]:
+        """Post-permutation positions of the given sentinels, in batch."""
+        base = n_total_blocks - self.n_sentinels
+        permutation = self._permutation_for(n_total_blocks)
+        return tuple(
+            permutation.forward_many([base + s for s in sentinel_ids])
+        )
+
     def _sentinel_position(self, sentinel_id: int, n_total_blocks: int) -> int:
         """Post-permutation position of a given sentinel."""
-        permutation = BlockPermutation(
-            prf_stream(self._key, b"sentinel-perm-key", self.file_id, 32),
-            n_total_blocks,
-        )
-        original_position = n_total_blocks - self.n_sentinels + sentinel_id
-        return permutation.forward(original_position)
+        return self._sentinel_positions((sentinel_id,), n_total_blocks)[0]
 
     # -- challenge / verify --------------------------------------------------
 
@@ -150,9 +170,7 @@ class SentinelPORClient:
             )
         ids = tuple(range(self._consumed, self._consumed + q))
         self._consumed += q
-        positions = tuple(
-            self._sentinel_position(s, self._n_total_blocks) for s in ids
-        )
+        positions = self._sentinel_positions(ids, self._n_total_blocks)
         return SentinelChallenge(positions=positions, sentinel_ids=ids)
 
     def verify_response(

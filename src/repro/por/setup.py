@@ -113,6 +113,9 @@ def setup_file(
     ]
 
     # Step 4: pseudorandom permutation of block positions -> F'''.
+    # permute_list runs on the batch Feistel engine (one PRF sweep per
+    # round over a shrinking cycle-walk frontier) -- this was ~65 % of
+    # setup cost when each position paid its own HMAC chain.
     permutation = BlockPermutation(keys.permutation_key, len(encrypted_blocks))
     permuted_blocks = permutation.permute_list(encrypted_blocks)
 
@@ -187,12 +190,14 @@ def extract_file(
             if position < n_encoded:
                 bad_permuted_positions.add(position)
 
-    # Step 4 inverse: un-permute.
+    # Step 4 inverse: un-permute.  unpermute_list materialises the
+    # permutation table, so the erasure positions below are free O(1)
+    # lookups on the same instance rather than fresh cycle walks.
     permutation = BlockPermutation(keys.permutation_key, n_encoded)
     encrypted_blocks = permutation.unpermute_list(permuted_blocks)
-    bad_positions = {
-        permutation.inverse(p) for p in bad_permuted_positions
-    }
+    bad_positions = set(
+        permutation.inverse_many(sorted(bad_permuted_positions))
+    )
 
     # Step 3 inverse: decrypt.
     flat = b"".join(encrypted_blocks)

@@ -6,7 +6,7 @@ import hmac
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.crypto.prf import prf, prf_int, prf_stream
+from repro.crypto.prf import DIGEST_SIZE, prf, prf_int, prf_many, prf_stream
 from repro.errors import ConfigurationError
 
 
@@ -25,6 +25,31 @@ class TestPRF:
 
     def test_deterministic(self):
         assert prf(b"k", b"l", b"m") == prf(b"k", b"l", b"m")
+
+
+class TestPRFMany:
+    def test_matches_scalar_prf(self):
+        messages = [b"", b"a", b"bb", bytes(100), b"a" * 1000]
+        assert list(prf_many(b"k", b"l", messages)) == [
+            prf(b"k", b"l", m) for m in messages
+        ]
+
+    def test_empty(self):
+        assert list(prf_many(b"k", b"l", [])) == []
+
+    def test_rejects_nul_in_label(self):
+        with pytest.raises(ConfigurationError):
+            list(prf_many(b"k", b"bad\x00label", [b"m"]))
+
+    @given(
+        st.binary(min_size=1, max_size=64),
+        st.lists(st.binary(max_size=32), max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scalar_equivalence_property(self, key, messages):
+        assert list(prf_many(key, b"label", messages)) == [
+            prf(key, b"label", m) for m in messages
+        ]
 
 
 class TestPRFStream:
@@ -63,3 +88,34 @@ class TestPRFInt:
         for i in range(1000):
             counts[prf_int(b"k", b"l", i.to_bytes(4, "big"), 10)] += 1
         assert all(60 <= c <= 140 for c in counts), counts
+
+    def test_wide_bounds_reach_past_one_digest(self):
+        # Regression: the sampling chunk used to be truncated to one
+        # 32-byte digest, so for upper > 2^256 the mask reached past
+        # the sampled bytes and values >= 2^256 were never produced.
+        upper = 1 << 300
+        draws = [
+            prf_int(b"k", b"wide", i.to_bytes(4, "big"), upper)
+            for i in range(8)
+        ]
+        assert all(0 <= v < upper for v in draws)
+        # A uniform draw from [0, 2^300) is below 2^256 w.p. 2^-44;
+        # eight independent draws all landing there would mean the bug.
+        assert max(draws) >= 1 << (8 * DIGEST_SIZE)
+
+    def test_wide_bounds_cover_top_bits(self):
+        # The top byte beyond the first digest must actually vary.
+        upper = 1 << 272
+        top_bytes = {
+            prf_int(b"k", b"wide2", i.to_bytes(4, "big"), upper)
+            >> (8 * DIGEST_SIZE)
+            for i in range(64)
+        }
+        assert len(top_bytes) > 1
+
+    def test_narrow_bounds_unchanged_by_wide_fix(self):
+        # The <= 32-byte path is the original construction; pin the
+        # value (computed with the seed implementation) so
+        # protocol-visible outputs cannot drift silently.
+        assert prf_int(b"key", b"label", b"msg", 1000) == 419
+        assert 0 <= prf_int(b"key", b"label", b"msg", 1 << 256) < 1 << 256
