@@ -2,22 +2,28 @@
 """Fleet auditing walkthrough: many tenants, one misbehaving provider.
 
 The single-owner quickstart scales up: three providers, three tenants,
-a dozen outsourced files, one shared simulated clock -- and one
-provider that quietly relocated its tenant's data offshore.  The fleet
-engine allocates finite audit capacity with a pluggable scheduling
-strategy, batches challenge rounds per data centre, and aggregates
-everything into a compliance report.
+a dozen outsourced files, one fleet-wide timeline -- and one provider
+that quietly relocated its tenant's data offshore.  The fleet engine
+allocates finite audit capacity with a pluggable scheduling strategy,
+batches challenge rounds per data centre, and aggregates everything
+into a compliance report.  The same scenario then runs on both engines
+so the serial slot loop and the concurrent per-datacentre lanes can be
+compared head to head.
 
 1. build an :class:`~repro.fleet.AuditFleet` and onboard providers
    with located data centres (a verifier device per site, a TPA per
-   provider, all on the fleet clock);
+   provider, all merged onto the fleet timeline);
 2. register tenant files -- each registration runs the full
    Juels-Kaliski setup and enqueues the file for recurring audits;
 3. inject the violation: the third provider relocates every file to
    Singapore and relays audits (the Fig. 6 attack, fleet-scale);
 4. run 24 simulated hours under risk-weighted scheduling and read the
    report: honest tenants at 100 % acceptance, every relayed file
-   flagged by the timing bound, with detection latency in hours.
+   flagged by the timing bound, with detection latency in hours;
+5. re-run the identical scenario on the event engine: every data
+   centre audits on its own lane clock, so the relayer's slow relayed
+   rounds never delay the honest sites, and the lane table shows the
+   overlap.
 
 Run:  python examples/fleet_audit.py
 """
@@ -35,7 +41,8 @@ PROVIDERS = {
 }
 
 
-def main() -> None:
+def build_fleet(engine: str) -> AuditFleet:
+    """The reference scenario, rebuilt identically for each engine."""
     # 1. The fleet: finite capacity (one batch per 30-minute slot, up
     #    to 4 audits per batch) allocated by risk-weighted scheduling.
     fleet = AuditFleet(
@@ -43,10 +50,10 @@ def main() -> None:
         strategy=RiskWeightedStrategy(),
         slot_minutes=30.0,
         batch_size=4,
+        engine=engine,
     )
     for name, site in PROVIDERS.items():
         fleet.add_provider(name, [(site, city(site))])
-    print(f"onboarded providers: {', '.join(fleet.provider_names())}")
 
     # 2. Tenants outsource files.  initech's tenant declares a higher
     #    corruption tolerance (epsilon): the risk signal the scheduler
@@ -66,7 +73,6 @@ def main() -> None:
                 epsilon=epsilon,
                 interval_hours=6.0,
             )
-    print(f"registered {fleet.n_files} files for 3 tenants")
 
     # 3. The violation: initech moves carol's data to Singapore and
     #    forwards audit rounds over the Internet.
@@ -78,9 +84,28 @@ def main() -> None:
         if task.provider_name == "initech":
             initech.relocate(task.file_id, "singapore")
     initech.set_strategy(RelayAttack("melbourne", "singapore"))
+    return fleet
+
+
+def check_report(fleet: AuditFleet, report) -> None:
+    """The paper-level claims hold under either engine."""
+    alice = report.tenant_summary("alice")
+    carol = report.tenant_summary("carol")
+    assert alice is not None and alice.acceptance_rate == 1.0
+    assert carol is not None and carol.acceptance_rate < 1.0
+    relayed = {t.file_id for t in fleet.tasks() if t.provider_name == "initech"}
+    flagged = {v.file_id for v in report.violations}
+    assert flagged == relayed, "every relayed file must be flagged"
+    assert all("timing" in v.failure_reasons for v in report.violations)
+
+
+def main() -> None:
+    fleet = build_fleet("slot")
+    print(f"onboarded providers: {', '.join(fleet.provider_names())}")
+    print(f"registered {fleet.n_files} files for 3 tenants")
     print("initech relocated carol's files offshore (relay installed)\n")
 
-    # 4. Audit the fleet for a simulated day and read the report.
+    # 4. Audit the fleet for a simulated day on the serial baseline.
     report = fleet.run(hours=24.0)
     print(report.render())
 
@@ -90,15 +115,24 @@ def main() -> None:
         f"batching saved {report.overhead_saved_ms:.0f} ms of dispatch "
         f"overhead across {report.n_batches} batches"
     )
+    check_report(fleet, report)
 
-    alice = report.tenant_summary("alice")
-    carol = report.tenant_summary("carol")
-    assert alice is not None and alice.acceptance_rate == 1.0
-    assert carol is not None and carol.acceptance_rate < 1.0
-    relayed = {t.file_id for t in fleet.tasks() if t.provider_name == "initech"}
-    flagged = {v.file_id for v in report.violations}
-    assert flagged == relayed, "every relayed file must be flagged"
-    assert all("timing" in v.failure_reasons for v in report.violations)
+    # 5. Same scenario, event engine: per-datacentre lanes audit
+    #    concurrently, so every site gets a batch every slot instead of
+    #    sharing one fleet-wide batch.
+    event_fleet = build_fleet("event")
+    event_report = event_fleet.run(hours=24.0)
+    check_report(event_fleet, event_report)
+    event_first = event_report.first_detection_hours()
+    print(
+        f"\nevent engine: {len(event_report.lanes)} concurrent lanes, "
+        f"{event_report.n_audits} audits "
+        f"(vs {report.n_audits} serial), first detection after "
+        f"{event_first:.2f} h (vs {first:.2f} h), "
+        f"{event_report.concurrency_speedup:.2f}x audit-work overlap"
+    )
+    assert event_first <= first
+    assert event_report.n_audits > report.n_audits
     print("fleet caught the relay on every affected file -- done.")
 
 

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli audit --attack relay --remote singapore
     python -m repro.cli analyse --segments 1000000 --epsilon 0.005
     python -m repro.cli fleet --files 30 --strategy risk-weighted
+    python -m repro.cli fleet --engine event --lanes 4
 
 Each subcommand prints the same rows the benchmarks assert on, so the
 CLI is a thin, scriptable window onto :mod:`repro.analysis.experiments`.
@@ -142,20 +143,33 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
     from repro.fleet.demo import build_demo_fleet
     from repro.fleet.strategies import make_strategy
 
     violation = None if args.violation == "none" else args.violation
-    fleet = build_demo_fleet(
-        n_files=args.files,
-        n_providers=args.providers,
-        strategy=make_strategy(args.strategy),
-        seed=args.seed,
-        violation=violation,
-        slot_minutes=args.slot_minutes,
-        batch_size=args.batch,
-    )
-    report = fleet.run(hours=args.hours)
+    # Engine/lane validation is the fleet's own (repro.errors), so the
+    # CLI, library and bench reject bad configs with the same message.
+    try:
+        if args.lanes < 1:
+            raise ConfigurationError(
+                f"--lanes must be >= 1, got {args.lanes}"
+            )
+        fleet = build_demo_fleet(
+            n_files=args.files,
+            n_providers=args.providers,
+            strategy=make_strategy(args.strategy),
+            seed=args.seed,
+            violation=violation,
+            slot_minutes=args.slot_minutes,
+            batch_size=args.batch,
+            engine=args.engine,
+            lane_queue_limit=args.lanes,
+        )
+        report = fleet.run(hours=args.hours)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.render())
     first = report.first_detection_hours()
     if first is not None:
@@ -167,6 +181,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{report.overhead_saved_ms:.0f} ms "
         f"({report.n_audits} audits in {report.n_batches} batches)"
     )
+    if report.engine == "event":
+        print(
+            f"concurrency speedup across {len(report.lanes)} lanes: "
+            f"{report.concurrency_speedup:.2f}x"
+        )
     if violation and first is None:
         return 1
     return 0
@@ -256,6 +275,22 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--slot-minutes", type=float, default=30.0)
     fleet.add_argument("--batch", type=int, default=4)
     fleet.add_argument("--seed", default="fleet-cli")
+    # Validated by the fleet itself (ConfigurationError -> exit 2), not
+    # by argparse choices, so the library and CLI share one error path.
+    fleet.add_argument(
+        "--engine",
+        default="slot",
+        help="run loop: 'slot' (serial baseline) or 'event' "
+        "(concurrent per-datacentre lanes)",
+    )
+    fleet.add_argument(
+        "--lanes",
+        type=int,
+        default=4,
+        help="per-lane queue depth: in-flight batches each data-centre "
+        "audit lane may hold before shedding slots (event engine; the "
+        "lane *count* is always one per data centre)",
+    )
     fleet.set_defaults(func=_cmd_fleet)
 
     analyse = subparsers.add_parser(

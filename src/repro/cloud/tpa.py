@@ -111,6 +111,7 @@ class ThirdPartyAuditor:
         k: int | None = None,
         rtt_max_ms: float | None = None,
         region=None,
+        clock=None,
     ) -> AuditOutcome:
         """Run one full audit and log the outcome.
 
@@ -118,12 +119,16 @@ class ThirdPartyAuditor:
         threshold-sweep benches) and ``region`` overrides the SLA's
         geographic clause (used when auditing replica sites, each of
         which has its own region); both default to the registered SLA.
+        ``clock`` injects the clock the timed phase runs on (the fleet
+        passes a per-datacentre lane clock); default is the verifier
+        device's own clock.
         """
         record = self.record(file_id)
         request = self.make_request(file_id, k)
-        started = verifier.clock.now_ms()
-        transcript = verifier.run_audit(request, provider)
-        finished = verifier.clock.now_ms()
+        timing_clock = clock if clock is not None else verifier.clock
+        started = timing_clock.now_ms()
+        transcript = verifier.run_audit(request, provider, clock=clock)
+        finished = timing_clock.now_ms()
         verdict = verify_transcript(
             transcript,
             request,

@@ -87,6 +87,7 @@ class VerifierDevice:
         provider: CloudProvider,
         *,
         rng: DeterministicRNG | None = None,
+        clock: SimClock | None = None,
     ) -> SignedTranscript:
         """Run the timed phase and return the signed transcript R.
 
@@ -94,7 +95,14 @@ class VerifierDevice:
         produces the segment (disk and/or relay time), the response
         crosses the LAN back; ``Delta-t_j`` is the whole round trip as
         seen by the device clock.
+
+        ``clock`` injects the clock the timed rounds run on.  It
+        defaults to the device's own clock (the single-session shape);
+        the fleet's event engine passes the per-datacentre lane clock
+        instead, so one site's disk time never advances another
+        site's timeline.
         """
+        clock = clock if clock is not None else self.clock
         rng = rng or self._rng or DeterministicRNG(self.device_id + request.nonce)
         # Fork on the request nonce: every audit must draw a fresh,
         # unpredictable challenge set (a fixed set would let the
@@ -107,13 +115,13 @@ class VerifierDevice:
         rounds: list[TimedRound] = []
         request_bytes = 16  # index + framing on the wire
         for index in challenge:
-            start_ms = self.clock.now_ms()
-            self.clock.advance(
+            start_ms = clock.now_ms()
+            clock.advance(
                 self.lan.one_way_ms(self.lan_distance_km, request_bytes, jitter_rng)
             )
             serve = provider.handle_request(request.file_id, index)
-            self.clock.advance(serve.elapsed_ms)
-            self.clock.advance(
+            clock.advance(serve.elapsed_ms)
+            clock.advance(
                 self.lan.one_way_ms(
                     self.lan_distance_km,
                     serve.segment.size_bytes,
@@ -124,7 +132,7 @@ class VerifierDevice:
                 TimedRound(
                     index=index,
                     segment=serve.segment,
-                    rtt_ms=self.clock.now_ms() - start_ms,
+                    rtt_ms=clock.now_ms() - start_ms,
                 )
             )
         fix = self.gps.read_fix()

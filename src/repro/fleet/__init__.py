@@ -3,12 +3,15 @@
 Where :class:`~repro.core.session.GeoProofSession` reproduces the
 paper's single-owner Fig. 4 deployment, this package runs the
 production shape: many tenants, many files, multiple providers and
-TPAs, all on one shared simulated clock, with finite audit capacity
+TPAs, merged onto one fleet-wide timeline, with finite audit capacity
 allocated by pluggable scheduling strategies and challenges batched
-per data centre.
+per data centre.  Two run loops share the machinery: the serial
+``"slot"`` baseline and the concurrent ``"event"`` engine, which gives
+every data centre its own audit lane (worker clock + bounded queue) on
+the discrete-event scheduler.
 
 * :mod:`repro.fleet.fleet` -- :class:`AuditFleet`: registration,
-  slot/batch capacity model, the run loop.
+  slot/batch capacity model, the slot and event run loops.
 * :mod:`repro.fleet.strategies` -- the strategy contract
   (:class:`AuditStrategy`) and the built-in policies:
   :class:`RoundRobinStrategy`, :class:`RiskWeightedStrategy`,
@@ -20,10 +23,11 @@ per data centre.
   ``examples/fleet_audit.py``.
 """
 
-from repro.fleet.fleet import AuditFleet, ProviderDeployment
+from repro.fleet.fleet import ENGINES, AuditFleet, ProviderDeployment
 from repro.fleet.report import (
     AuditEvent,
     FleetReport,
+    LaneStats,
     TenantSummary,
     ViolationRecord,
 )
@@ -38,7 +42,9 @@ from repro.fleet.strategies import (
 
 __all__ = [
     "AuditFleet",
+    "ENGINES",
     "ProviderDeployment",
+    "LaneStats",
     "AuditStrategy",
     "AuditTask",
     "RoundRobinStrategy",

@@ -55,6 +55,8 @@ def build_demo_fleet(
     slot_minutes: float = 30.0,
     batch_size: int = 4,
     k_rounds: int = 10,
+    engine: str = "slot",
+    lane_queue_limit: int = 4,
 ) -> AuditFleet:
     """Build the reference fleet: one tenant per provider, files dealt
     evenly, the last provider optionally misbehaving.
@@ -84,6 +86,8 @@ def build_demo_fleet(
         batch_size=batch_size,
         default_k_rounds=k_rounds,
         default_interval_hours=interval_hours,
+        engine=engine,
+        lane_queue_limit=lane_queue_limit,
     )
     data_rng = DeterministicRNG(f"{seed}-data")
     violator = f"provider-{n_providers}" if violation else None

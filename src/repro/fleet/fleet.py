@@ -1,4 +1,4 @@
-"""Fleet-scale batch auditing: many files, providers and TPAs, one clock.
+"""Fleet-scale auditing: per-datacentre audit lanes on a shared timeline.
 
 :class:`AuditFleet` scales the single-owner
 :class:`~repro.core.session.GeoProofSession` (Fig. 4) up to the
@@ -6,30 +6,49 @@ production shape the ROADMAP targets: **many tenants** outsource
 **many files** across **multiple cloud providers**, each provider gets
 its own :class:`~repro.cloud.tpa.ThirdPartyAuditor` and one
 tamper-proof :class:`~repro.cloud.verifier.VerifierDevice` per data
-centre, and every actor shares a single
-:class:`~repro.netsim.clock.SimClock` so detection latencies are
-comparable fleet-wide.
+centre, all merged onto one fleet-wide timeline so detection latencies
+are comparable fleet-wide.
 
-Capacity model
---------------
-The fleet audits in fixed *slots* (``slot_minutes`` of simulated time
-apiece).  Each slot, the installed
-:class:`~repro.fleet.strategies.AuditStrategy` ranks the queue and the
-fleet audits a **batch**: the top-ranked task plus up to
-``batch_size - 1`` further tasks homed at the *same data centre*, in
-ranking order.  Batching amortises the per-dispatch overhead (the
-TPA-to-verifier request leg) across every audit that shares the
-verifier appliance: one batch pays ``dispatch_overhead_ms`` once where
-unbatched auditing would pay it per file.
+Concurrency model
+-----------------
+GeoProof places one verifier appliance on the LAN of *each* data
+centre, so audits at different sites are physically concurrent.  The
+fleet models that with an **audit lane** per (provider, data centre)
+site: a :class:`~repro.netsim.lanes.LaneClock` worker clock plus a
+bounded in-flight queue (:class:`~repro.netsim.lanes.Lane`), driven by
+the discrete-event :class:`~repro.netsim.events.EventScheduler` on the
+fleet's global clock.  Every ``slot_minutes`` each lane dispatches one
+**batch** -- up to ``batch_size`` audits of that site's files, ranked
+by the installed :class:`~repro.fleet.strategies.AuditStrategy`
+(:meth:`~repro.fleet.strategies.AuditStrategy.rank_lane`) -- and works
+through it on its *own* clock, so a slow disk seek at one site never
+delays audits at another, and each TPA effectively dispatches to all
+of its sites concurrently.  A lane that overruns its slot queues
+subsequent dispatches at its frontier, up to ``lane_queue_limit``
+outstanding batches; beyond that it sheds slots (counted per lane in
+the report).  Batching still amortises the per-dispatch overhead: one
+batch pays ``dispatch_overhead_ms`` once where unbatched auditing
+would pay it per file.
+
+Two engines share all of that machinery:
+
+* ``engine="event"`` -- the concurrent lane model above.
+* ``engine="slot"`` -- the legacy serial loop: one batch per slot
+  *fleet-wide*, every audit on the single global clock.  Kept both as
+  the baseline the concurrency speedup is measured against
+  (``benchmarks/bench_fleet.py``) and as the semantics anchor: with a
+  single data centre the two engines produce identical audit streams
+  (pinned by test).
 
 Usage::
 
-    fleet = AuditFleet(seed="demo", strategy=RiskWeightedStrategy())
+    fleet = AuditFleet(seed="demo", strategy=RiskWeightedStrategy(),
+                       engine="event")
     fleet.add_provider("acme", [("bne", city("brisbane"))])
     fleet.register(tenant="alice", provider="acme", datacentre="bne",
                    file_id=b"a-1", data=payload)
     report = fleet.run(hours=24.0)
-    print(report.render())
+    print(report.render())     # includes per-lane utilization
 
 See :mod:`repro.fleet.strategies` for the scheduling contract and
 :mod:`repro.fleet.report` for the aggregation the run returns.
@@ -49,6 +68,8 @@ from repro.errors import ConfigurationError
 from repro.geo.coords import GeoPoint
 from repro.geo.regions import CircularRegion, Region
 from repro.netsim.clock import SimClock
+from repro.netsim.events import EventScheduler
+from repro.netsim.lanes import Lane
 from repro.por.parameters import PORParams, TEST_PARAMS
 from repro.storage.hdd import HDDSpec, WD_2500JD
 from repro.util.validation import check_positive
@@ -56,6 +77,7 @@ from repro.util.validation import check_positive
 from repro.fleet.report import (
     AuditEvent,
     FleetReport,
+    LaneStats,
     TenantSummary,
     ViolationRecord,
 )
@@ -65,6 +87,16 @@ from repro.fleet.strategies import (
     AuditTask,
     RoundRobinStrategy,
 )
+
+#: The available run loops (see the module docstring).
+ENGINES = ("slot", "event")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; available: {', '.join(ENGINES)}"
+        )
 
 
 @dataclass
@@ -100,6 +132,8 @@ class AuditFleet:
         default_k_rounds: int = 10,
         default_interval_hours: float = 6.0,
         region_radius_km: float = 100.0,
+        engine: str = "slot",
+        lane_queue_limit: int = 4,
     ) -> None:
         check_positive("slot_minutes", slot_minutes)
         check_positive("dispatch_overhead_ms", dispatch_overhead_ms, strict=False)
@@ -113,6 +147,11 @@ class AuditFleet:
                 f"default_k_rounds must be positive, got {default_k_rounds}"
             )
         check_positive("default_interval_hours", default_interval_hours)
+        _check_engine(engine)
+        if lane_queue_limit < 1:
+            raise ConfigurationError(
+                f"lane_queue_limit must be >= 1, got {lane_queue_limit}"
+            )
         self.clock = SimClock()
         self.params = params or TEST_PARAMS
         self.strategy = strategy or RoundRobinStrategy()
@@ -122,6 +161,8 @@ class AuditFleet:
         self.default_k_rounds = default_k_rounds
         self.default_interval_hours = default_interval_hours
         self.region_radius_km = region_radius_km
+        self.engine = engine
+        self.lane_queue_limit = lane_queue_limit
         self._rng = DeterministicRNG(seed)
         self._deployments: dict[str, ProviderDeployment] = {}
         self._tasks: dict[tuple[str, bytes], AuditTask] = {}
@@ -295,16 +336,25 @@ class AuditFleet:
 
     # -- auditing --------------------------------------------------------
 
-    def audit_once(self, task: AuditTask) -> AuditOutcome:
-        """Run one audit of a task through its contracted verifier."""
+    def audit_once(
+        self, task: AuditTask, *, clock: SimClock | None = None
+    ) -> AuditOutcome:
+        """Run one audit of a task through its contracted verifier.
+
+        ``clock`` is the clock the timed phase runs on -- the fleet
+        clock in the slot engine, the task's lane clock in the event
+        engine (injected down through the TPA and verifier).
+        """
+        clock = clock if clock is not None else self.clock
         deployment = self.deployment(task.provider_name)
         outcome = deployment.tpa.audit(
             task.file_id,
             deployment.verifier_for(task.datacentre),
             deployment.provider,
             k=task.k_rounds,
+            clock=clock,
         )
-        task.last_audit_ms = self.clock.now_ms()
+        task.last_audit_ms = clock.now_ms()
         task.audits += 1
         return outcome
 
@@ -339,24 +389,42 @@ class AuditFleet:
         *,
         hours: float,
         strategy: AuditStrategy | None = None,
+        engine: str | None = None,
     ) -> FleetReport:
         """Drain the audit queue for ``hours`` of simulated time.
 
-        One batch per slot; the clock advances to each slot boundary
-        (audits that overrun a slot delay the next one -- capacity is
-        finite).  ``strategy`` overrides the installed policy for this
+        ``engine`` selects the run loop for this run only (defaults to
+        the fleet's installed engine):
+
+        * ``"slot"`` -- serial baseline: one batch per slot fleet-wide
+          on the global clock; audits that overrun a slot delay the
+          next one everywhere (capacity is finite and shared).
+        * ``"event"`` -- concurrent lanes: one batch per slot *per
+          data centre*, each lane advancing its own worker clock, so
+          per-site load no longer couples sites together.
+
+        ``strategy`` likewise overrides the installed policy for this
         run only.  Returns the aggregated :class:`FleetReport`.
         """
         check_positive("hours", hours)
         if not self._tasks:
             raise ConfigurationError("cannot run an empty fleet")
         active = strategy if strategy is not None else self.strategy
+        selected = engine if engine is not None else self.engine
+        _check_engine(selected)
+        if selected == "event":
+            return self._run_event(hours=hours, active=active)
+        return self._run_slot(hours=hours, active=active)
+
+    def _run_slot(
+        self, *, hours: float, active: AuditStrategy
+    ) -> FleetReport:
+        """The legacy serial loop: one batch per slot, one clock."""
         slot_ms = self.slot_minutes * 60_000.0
         start_ms = self.clock.now_ms()
         horizon_ms = start_ms + hours * MS_PER_HOUR
         events: list[AuditEvent] = []
-        detected: dict[tuple[str, bytes], ViolationRecord] = {}
-        n_batches = 0
+        accounting = _LaneAccounting(self)
         slot = 0
         while True:
             slot_start = start_ms + slot * slot_ms
@@ -367,29 +435,139 @@ class AuditFleet:
             if slot_start > self.clock.now_ms():
                 self.clock.advance_to(slot_start)
             batch = self.next_batch(self.clock.now_ms(), strategy=active)
+            site = batch[0].site
+            batch_start = self.clock.now_ms()
             # One dispatch pays for the whole batch: the TPA wakes the
             # site's verifier appliance once and streams every request.
             self.clock.advance(self.dispatch_overhead_ms)
-            n_batches += 1
-            for task in batch:
-                outcome = self.audit_once(task)
-                event = self._event_for(slot, task, outcome, start_ms)
-                events.append(event)
-                if not event.accepted and task.key not in detected:
-                    detected[task.key] = ViolationRecord(
-                        tenant=task.tenant,
-                        provider=task.provider_name,
-                        file_id=task.file_id,
-                        detected_at_hours=event.at_hours,
-                        failure_reasons=event.failure_reasons,
+            with accounting.site_window(site) as window:
+                for task in batch:
+                    outcome = self.audit_once(task)
+                    events.append(
+                        self._event_for(
+                            slot, task, outcome, start_ms, horizon_ms,
+                            clock=self.clock,
+                        )
                     )
+            accounting.charge(
+                site,
+                n_audits=len(batch),
+                busy_ms=self.clock.now_ms() - batch_start,
+                disk_ms=window.disk_ms,
+            )
             slot += 1
         return self._build_report(
             strategy_name=active.name,
             simulated_hours=hours,
             events=events,
-            detected=detected,
-            n_batches=n_batches,
+            engine="slot",
+            lanes=accounting.stats(span_ms=hours * MS_PER_HOUR),
+        )
+
+    def _run_event(
+        self, *, hours: float, active: AuditStrategy
+    ) -> FleetReport:
+        """The concurrent engine: per-datacentre lanes on the scheduler.
+
+        The global :class:`EventScheduler` only carries *control*
+        events -- per-lane slot ticks and queued-dispatch wakeups.
+        The audit work itself runs on each lane's own
+        :class:`~repro.netsim.lanes.LaneClock`, which may run ahead of
+        the global clock; completed audits are merged back into one
+        fleet-wide timeline by timestamp (dispatch order breaking
+        ties, which the scheduler keeps FIFO).
+        """
+        slot_ms = self.slot_minutes * 60_000.0
+        start_ms = self.clock.now_ms()
+        horizon_ms = start_ms + hours * MS_PER_HOUR
+        scheduler = EventScheduler(self.clock)
+        accounting = _LaneAccounting(self)
+        sites = accounting.sites
+        lanes = {
+            site: Lane(
+                f"{site[0]}/{site[1]}",
+                scheduler,
+                queue_limit=self.lane_queue_limit,
+                start_ms=start_ms,
+            )
+            for site in sites
+        }
+        recorded: list[AuditEvent] = []
+
+        def make_dispatch(site: tuple[str, str]):
+            def dispatch(lane_clock) -> None:
+                # Batches may *finish* past the horizon (flagged), but
+                # never start at/past it -- the slot engine's rule.
+                if lane_clock.now_ms() >= horizon_ms:
+                    return
+                lane_tasks = accounting.tasks_at(site)
+                batch = active.rank_lane(lane_tasks, lane_clock.now_ms())
+                batch = batch[: self.batch_size]
+                if not batch:
+                    return
+                slot_index = accounting.n_batches_at(site)
+                lane_clock.advance(self.dispatch_overhead_ms)
+                with accounting.site_window(site) as window:
+                    for task in batch:
+                        outcome = self.audit_once(task, clock=lane_clock)
+                        recorded.append(
+                            self._event_for(
+                                slot_index, task, outcome, start_ms,
+                                horizon_ms, clock=lane_clock,
+                            )
+                        )
+                accounting.charge(
+                    site,
+                    n_audits=len(batch),
+                    busy_ms=0.0,  # the LaneClock tracks busy time itself
+                    disk_ms=window.disk_ms,
+                )
+            return dispatch
+
+        def make_tick(site: tuple[str, str]):
+            lane = lanes[site]
+            dispatch = make_dispatch(site)
+            label = f"audit:{site[0]}/{site[1]}"
+
+            def tick() -> None:
+                if scheduler.clock.now_ms() >= horizon_ms:
+                    return
+                lane.submit(dispatch, label=label)
+
+            return tick
+
+        # One periodic tick chain per lane, created in first-
+        # registration order so same-timestamp ticks fire in a
+        # deterministic FIFO order.
+        for site in sites:
+            scheduler.schedule_periodic(
+                slot_ms,
+                make_tick(site),
+                first_delay_ms=0.0,
+                label=f"tick:{site[0]}/{site[1]}",
+            )
+        scheduler.run_until(horizon_ms)
+        # Fleet-wide time resumes after the last straggler lane: a
+        # subsequent run() must not start before every site is free.
+        tail = max(
+            (lane.frontier_ms for lane in lanes.values()),
+            default=self.clock.now_ms(),
+        )
+        if tail > self.clock.now_ms():
+            self.clock.advance_to(tail)
+        # Merge the per-lane streams into one fleet timeline: order by
+        # completion time, dispatch order breaking ties.
+        indexed = sorted(
+            enumerate(recorded), key=lambda pair: (pair[1].at_ms, pair[0])
+        )
+        return self._build_report(
+            strategy_name=active.name,
+            simulated_hours=hours,
+            events=[event for _, event in indexed],
+            engine="event",
+            lanes=accounting.stats(
+                span_ms=hours * MS_PER_HOUR, lanes=lanes
+            ),
         )
 
     # -- report assembly -------------------------------------------------
@@ -400,19 +578,32 @@ class AuditFleet:
         task: AuditTask,
         outcome: AuditOutcome,
         start_ms: float,
+        horizon_ms: float,
+        *,
+        clock: SimClock,
     ) -> AuditEvent:
+        """Record one audit at its (possibly lane-local) finish time.
+
+        ``slot`` is the dispatching slot index -- global in the slot
+        engine, lane-local in the event engine (identical for a
+        single-site fleet).  Audits whose batch legitimately started
+        inside the horizon but finished past it are flagged, not
+        dropped, so both engines treat overruns identically.
+        """
         verdict = outcome.verdict
+        finished_ms = clock.now_ms()
         return AuditEvent(
             slot=slot,
             tenant=task.tenant,
             provider=task.provider_name,
             file_id=task.file_id,
             datacentre=task.datacentre,
-            at_ms=self.clock.now_ms() - start_ms,
+            at_ms=finished_ms - start_ms,
             accepted=verdict.accepted,
             max_rtt_ms=verdict.max_rtt_ms,
             rtt_max_ms=verdict.rtt_max_ms,
             failure_reasons=tuple(verdict.failure_reasons),
+            overran_horizon=finished_ms > horizon_ms,
         )
 
     def _build_report(
@@ -421,9 +612,22 @@ class AuditFleet:
         strategy_name: str,
         simulated_hours: float,
         events: list[AuditEvent],
-        detected: dict[tuple[str, bytes], ViolationRecord],
-        n_batches: int,
+        engine: str,
+        lanes: tuple[LaneStats, ...],
     ) -> FleetReport:
+        # First failing audit per (provider, file_id), in fleet-
+        # timeline order (events arrive pre-merged by timestamp).
+        detected: dict[tuple[str, bytes], ViolationRecord] = {}
+        for event in events:
+            key = (event.provider, event.file_id)
+            if not event.accepted and key not in detected:
+                detected[key] = ViolationRecord(
+                    tenant=event.tenant,
+                    provider=event.provider,
+                    file_id=event.file_id,
+                    detected_at_hours=event.at_hours,
+                    failure_reasons=event.failure_reasons,
+                )
         tenants: dict[str, dict[str, int]] = {}
         tenant_files: dict[str, set[tuple[str, bytes]]] = {}
         for task in self.tasks():
@@ -456,6 +660,7 @@ class AuditFleet:
             )
         )
         n_audits = len(events)
+        n_batches = sum(lane.n_batches for lane in lanes)
         return FleetReport(
             strategy=strategy_name,
             simulated_hours=simulated_hours,
@@ -469,4 +674,105 @@ class AuditFleet:
             overhead_saved_ms=(
                 max(0, n_audits - n_batches) * self.dispatch_overhead_ms
             ),
+            engine=engine,
+            lanes=lanes,
         )
+
+
+class _LaneAccounting:
+    """Per-site dispatch accounting shared by both run engines.
+
+    Sites are enumerated in first-registration order -- the canonical
+    lane order for reports and for scheduling ticks, so two runs of
+    the same fleet agree on every tie-break.
+    """
+
+    def __init__(self, fleet: AuditFleet) -> None:
+        self._fleet = fleet
+        self.sites: list[tuple[str, str]] = []
+        # Registration is closed during a run, so the per-site queue
+        # index is built once here instead of re-filtering the whole
+        # fleet queue on every lane dispatch (tasks stay shared and
+        # mutable -- only the grouping is frozen).
+        self._tasks_by_site: dict[tuple[str, str], list[AuditTask]] = {}
+        for task in fleet.tasks():
+            if task.site not in self._tasks_by_site:
+                self.sites.append(task.site)
+                self._tasks_by_site[task.site] = []
+            self._tasks_by_site[task.site].append(task)
+        self._acc: dict[tuple[str, str], dict[str, float]] = {
+            site: {"batches": 0, "audits": 0, "disk_ms": 0.0, "busy_ms": 0.0}
+            for site in self.sites
+        }
+
+    def tasks_at(self, site: tuple[str, str]) -> list[AuditTask]:
+        """One site's slice of the audit queue, in registration order."""
+        return self._tasks_by_site[site]
+
+    def site_window(self, site: tuple[str, str]):
+        """A spindle meter on the site's *contracted* storage server.
+
+        A relaying provider serves from elsewhere, so a relayed batch
+        legitimately shows zero contracted-spindle time here.
+        """
+        provider, datacentre = site
+        server = (
+            self._fleet.deployment(provider)
+            .provider.datacentre(datacentre)
+            .server
+        )
+        return server.serve_window()
+
+    def n_batches_at(self, site: tuple[str, str]) -> int:
+        """Batches dispatched at a site so far (the lane slot index)."""
+        return int(self._acc[site]["batches"])
+
+    def charge(
+        self,
+        site: tuple[str, str],
+        *,
+        n_audits: int,
+        busy_ms: float,
+        disk_ms: float,
+    ) -> None:
+        """Account one dispatched batch against its lane."""
+        acc = self._acc[site]
+        acc["batches"] += 1
+        acc["audits"] += n_audits
+        acc["busy_ms"] += busy_ms
+        acc["disk_ms"] += disk_ms
+
+    def stats(
+        self,
+        *,
+        span_ms: float,
+        lanes: dict[tuple[str, str], Lane] | None = None,
+    ) -> tuple[LaneStats, ...]:
+        """Freeze the accounting into report rows.
+
+        With ``lanes`` (event engine) busy time and queue stats come
+        from each :class:`Lane`; without (slot engine) busy time is
+        the accumulated batch spans and queue depth is zero by
+        construction.
+        """
+        rows = []
+        for site in self.sites:
+            acc = self._acc[site]
+            lane = lanes.get(site) if lanes is not None else None
+            busy_ms = lane.clock.busy_ms if lane is not None else acc["busy_ms"]
+            rows.append(
+                LaneStats(
+                    provider=site[0],
+                    datacentre=site[1],
+                    n_batches=int(acc["batches"]),
+                    n_audits=int(acc["audits"]),
+                    busy_ms=busy_ms,
+                    disk_busy_ms=acc["disk_ms"],
+                    utilization=busy_ms / span_ms if span_ms > 0 else 0.0,
+                    peak_queue_depth=(
+                        lane.peak_queue_depth if lane is not None else 0
+                    ),
+                    dropped_slots=lane.dropped if lane is not None else 0,
+                )
+            )
+        return tuple(rows)

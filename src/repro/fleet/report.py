@@ -2,9 +2,12 @@
 
 A :class:`FleetReport` is the deliverable of
 :meth:`repro.fleet.fleet.AuditFleet.run`: per-tenant acceptance rates,
-violation-detection latencies, and the breakdown of GeoProof verdicts
-by failure mode, all rendered through the same ASCII formatting the
-paper-table benches use (:mod:`repro.analysis.reporting`).
+violation-detection latencies, the breakdown of GeoProof verdicts by
+failure mode, and per-datacentre lane activity (:class:`LaneStats`:
+utilization, queue depth, shed slots, and the concurrency speedup the
+event engine extracted), all rendered through the same ASCII
+formatting the paper-table benches use
+(:mod:`repro.analysis.reporting`).
 
 Everything here is a frozen dataclass built from deterministic inputs,
 so two runs of the same seeded fleet compare equal (`==`) field by
@@ -33,11 +36,48 @@ class AuditEvent:
     max_rtt_ms: float
     rtt_max_ms: float
     failure_reasons: tuple[str, ...]
+    #: True when the audit *finished* past the run's horizon: its batch
+    #: legitimately started inside the window but overran it.  Both
+    #: engines flag these the same way instead of silently mixing them
+    #: with in-window events.
+    overran_horizon: bool = False
 
     @property
     def at_hours(self) -> float:
         """Simulated hours since fleet start when this audit finished."""
         return self.at_ms / MS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """One data-centre audit lane's activity over a run.
+
+    The slot engine reports the same per-site accounting (with queue
+    depth pinned at zero -- a global loop never queues per lane) so
+    slot and event runs are comparable column for column.
+    """
+
+    provider: str
+    datacentre: str
+    n_batches: int
+    n_audits: int
+    #: Simulated ms the lane spent auditing (dispatch overhead + timed
+    #: rounds), i.e. this shard's busy time.
+    busy_ms: float
+    #: Portion of ``busy_ms`` the site's spindle was seeking/reading
+    #: (the Delta-t_L share; the rest is LAN + dispatch overhead).
+    disk_busy_ms: float
+    #: ``busy_ms`` over the run's horizon span.
+    utilization: float
+    #: Deepest the lane's bounded in-flight queue got.
+    peak_queue_depth: int
+    #: Slot ticks shed because the bounded queue was full.
+    dropped_slots: int
+
+    @property
+    def site(self) -> tuple[str, str]:
+        """The (provider, data centre) lane key."""
+        return (self.provider, self.datacentre)
 
 
 @dataclass(frozen=True)
@@ -84,11 +124,40 @@ class FleetReport:
     #: Per-batch dispatch overhead avoided by batching audits per data
     #: centre: ``(n_audits - n_batches) * dispatch_overhead_ms``.
     overhead_saved_ms: float = 0.0
+    #: Which run loop produced this report: ``"slot"`` (serial global
+    #: loop) or ``"event"`` (per-datacentre lanes on the scheduler).
+    engine: str = "slot"
+    #: Per-lane activity, in lane creation (first registration) order.
+    lanes: tuple[LaneStats, ...] = ()
 
     @property
     def n_audits(self) -> int:
         """Total audits performed across the run."""
         return len(self.events)
+
+    @property
+    def n_overrun_events(self) -> int:
+        """Audits that finished past the run horizon (flagged, kept)."""
+        return sum(1 for e in self.events if e.overran_horizon)
+
+    @property
+    def concurrency_speedup(self) -> float:
+        """Serial-equivalent busy time over the critical lane's busy time.
+
+        ``sum(lane busy) / max(lane busy)``: how much simulated audit
+        work overlapped across sites.  1.0 for a single lane (or the
+        slot engine's serial loop, where nothing overlaps by
+        construction); approaches the number of evenly-loaded sites
+        under the event engine.
+        """
+        if not self.lanes:
+            return 1.0
+        busiest = max(lane.busy_ms for lane in self.lanes)
+        if busiest <= 0.0:
+            return 1.0
+        if self.engine != "event":
+            return 1.0
+        return sum(lane.busy_ms for lane in self.lanes) / busiest
 
     @property
     def acceptance_rate(self) -> float:
@@ -140,10 +209,11 @@ class FleetReport:
         """ASCII compliance report (tenants, verdicts, violations)."""
         sections = [
             format_table(
-                ["strategy", "sim hours", "providers", "files", "audits",
-                 "batches", "accept rate"],
+                ["strategy", "engine", "sim hours", "providers", "files",
+                 "audits", "batches", "accept rate"],
                 [[
                     self.strategy,
+                    self.engine,
                     self.simulated_hours,
                     self.n_providers,
                     self.n_files,
@@ -170,6 +240,32 @@ class FleetReport:
                 title="Verdict breakdown",
             ),
         ]
+        if self.lanes:
+            sections.append(
+                format_table(
+                    ["provider", "site", "batches", "audits", "busy ms",
+                     "disk ms", "util", "peak queue", "dropped"],
+                    [
+                        [
+                            lane.provider,
+                            lane.datacentre,
+                            lane.n_batches,
+                            lane.n_audits,
+                            lane.busy_ms,
+                            lane.disk_busy_ms,
+                            lane.utilization,
+                            lane.peak_queue_depth,
+                            lane.dropped_slots,
+                        ]
+                        for lane in self.lanes
+                    ],
+                    title=(
+                        "Audit lanes (concurrency speedup "
+                        f"{self.concurrency_speedup:.2f}x)"
+                    ),
+                    decimals=3,
+                )
+            )
         if self.violations:
             sections.append(
                 format_table(

@@ -10,13 +10,21 @@ tolerances, deadline-driven when SLAs promise a fixed audit cadence.
 The strategy contract is deliberately tiny:
 
 ``rank(tasks, now_ms) -> list[AuditTask]``
-    Return the tasks in descending scheduling priority.  The fleet
-    audits the head of the ranking and then batches lower-ranked tasks
-    homed at the same data centre (see
+    Return the tasks in descending scheduling priority.  The slot
+    engine audits the head of the ranking and then batches
+    lower-ranked tasks homed at the same data centre (see
     :meth:`~repro.fleet.fleet.AuditFleet.run`).  Rankings must be
     **deterministic**: equal-priority ties break on registration
     order, never on dict/hash order, so a seeded fleet run always
     produces an identical :class:`~repro.fleet.report.FleetReport`.
+
+``rank_lane(tasks, now_ms) -> list[AuditTask]``
+    Rank one data centre's slice of the queue (the event engine calls
+    this once per lane per slot, with that lane's local time).  The
+    base-class fallback applies the fleet-wide ``rank`` to the lane's
+    tasks, which keeps the two engines' schedules identical whenever
+    only one lane exists; strategies may override it with genuinely
+    lane-local policies (e.g. per-site fairness windows).
 
 Strategies never mutate tasks; all bookkeeping (last-audit times,
 audit counts) is owned by the fleet.
@@ -137,6 +145,17 @@ class AuditStrategy(ABC):
         self, tasks: Sequence[AuditTask], now_ms: float
     ) -> list[AuditTask]:
         """Tasks in descending scheduling priority (deterministic)."""
+
+    def rank_lane(
+        self, tasks: Sequence[AuditTask], now_ms: float
+    ) -> list[AuditTask]:
+        """Rank one lane's slice of the queue (event engine hook).
+
+        Fleet-wide fallback: apply :meth:`rank` to the lane's own
+        tasks.  ``now_ms`` is the *lane's* local time, which may be
+        ahead of the global clock when the lane overran its slots.
+        """
+        return self.rank(tasks, now_ms)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}()"

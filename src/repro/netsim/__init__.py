@@ -9,6 +9,9 @@ latency models those arguments run on:
   milliseconds.
 * :mod:`repro.netsim.events` -- a discrete-event scheduler for
   multi-actor simulations.
+* :mod:`repro.netsim.lanes` -- sharded worker clocks
+  (:class:`LaneClock`) and bounded work lanes (:class:`Lane`) for
+  per-site concurrency on top of the scheduler.
 * :mod:`repro.netsim.latency` -- channel models: LAN (fibre/copper +
   switches), Internet (4/9 c + routing overhead + jitter), and RF
   (speed of light) for classic distance bounding.
@@ -20,6 +23,7 @@ latency models those arguments run on:
 
 from repro.netsim.clock import SimClock
 from repro.netsim.events import EventScheduler
+from repro.netsim.lanes import Lane, LaneClock
 from repro.netsim.latency import (
     SPEED_OF_LIGHT_KM_PER_MS,
     InternetModel,
@@ -33,6 +37,8 @@ from repro.netsim.traceroute import ping, traceroute
 __all__ = [
     "SimClock",
     "EventScheduler",
+    "Lane",
+    "LaneClock",
     "LatencyModel",
     "LANModel",
     "InternetModel",

@@ -38,8 +38,17 @@ class EventScheduler:
 
     @property
     def n_pending(self) -> int:
-        """Events still queued (including cancelled tombstones)."""
+        """Live events still queued (cancelled tombstones excluded)."""
         return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def n_cancelled(self) -> int:
+        """Cancelled tombstones still sitting in the queue.
+
+        Tombstones are only reclaimed when dispatch pops past them, so
+        this count drops back to zero as the loop advances.
+        """
+        return sum(1 for e in self._queue if e.cancelled)
 
     @property
     def n_processed(self) -> int:

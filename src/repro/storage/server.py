@@ -68,6 +68,7 @@ class StorageServer:
         self.queue_delay_ms = queue_delay_ms
         self.n_lookups = 0
         self.total_disk_ms = 0.0
+        self.total_serve_ms = 0.0
 
     def lookup(self, file_id: bytes, index: int) -> LookupResult:
         """Fetch a segment, accounting for disk or cache time."""
@@ -77,6 +78,7 @@ class StorageServer:
             if cached is not None:
                 segment = Segment.from_wire(cached)[0]
                 self.n_lookups += 1
+                self.total_serve_ms += self.queue_delay_ms
                 return LookupResult(
                     segment=segment,
                     elapsed_ms=self.queue_delay_ms,
@@ -90,6 +92,7 @@ class StorageServer:
             disk_ms = self.disk.sample_lookup_ms(self._rng, n_bytes)
         self.n_lookups += 1
         self.total_disk_ms += disk_ms
+        self.total_serve_ms += self.queue_delay_ms + disk_ms
         if self.cache is not None:
             self.cache.put(key, segment.wire_bytes())
         return LookupResult(
@@ -122,3 +125,43 @@ class StorageServer:
         """Average disk time per (non-cached) lookup so far."""
         misses = self.n_lookups if self.cache is None else self.cache.misses
         return self.total_disk_ms / misses if misses else 0.0
+
+    def serve_window(self) -> "ServeWindow":
+        """Meter the spindle across a block of lookups::
+
+            with server.serve_window() as window:
+                ... batched lookups ...
+            spindle_busy = window.disk_ms
+
+        The deltas separate pure disk time (seek + rotate + transfer,
+        the part that serialises on one spindle) from total serve time
+        (disk plus queueing), so a scheduling lane can tell how much of
+        its busy interval was spindle contention versus LAN time --
+        batched lookups that pile onto one disk add up here even though
+        the server itself keeps no clock.
+        """
+        return ServeWindow(self)
+
+
+class ServeWindow:
+    """Context manager capturing one server's serve-time deltas."""
+
+    def __init__(self, server: StorageServer) -> None:
+        self._server = server
+        self.lookups = 0
+        self.disk_ms = 0.0
+        self.serve_ms = 0.0
+
+    def __enter__(self) -> "ServeWindow":
+        self._mark = (
+            self._server.n_lookups,
+            self._server.total_disk_ms,
+            self._server.total_serve_ms,
+        )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        n, disk, serve = self._mark
+        self.lookups = self._server.n_lookups - n
+        self.disk_ms = self._server.total_disk_ms - disk
+        self.serve_ms = self._server.total_serve_ms - serve

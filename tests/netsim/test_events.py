@@ -122,3 +122,27 @@ class TestCancellation:
             scheduler.schedule_at(t, lambda: None)
         scheduler.run_all()
         assert scheduler.n_processed == 3
+
+    def test_n_pending_excludes_cancelled_tombstones(self):
+        """Cancellation accounting: n_pending counts only live events.
+
+        Regression for a doc/code mismatch: the docstring used to claim
+        tombstones were *included* while the code excluded them.
+        """
+        scheduler = EventScheduler()
+        events = [
+            scheduler.schedule_at(float(t), lambda: None)
+            for t in (1, 2, 3)
+        ]
+        assert scheduler.n_pending == 3
+        assert scheduler.n_cancelled == 0
+        EventScheduler.cancel(events[1])
+        # The tombstone stays queued but is no longer pending.
+        assert scheduler.n_pending == 2
+        assert scheduler.n_cancelled == 1
+        scheduler.run_all()
+        # Dispatch pops past tombstones: nothing pending, nothing
+        # cancelled left in the queue, and only live events executed.
+        assert scheduler.n_pending == 0
+        assert scheduler.n_cancelled == 0
+        assert scheduler.n_processed == 2

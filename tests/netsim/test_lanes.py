@@ -1,0 +1,123 @@
+"""Sharded lane clocks and bounded work lanes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.events import EventScheduler
+from repro.netsim.lanes import Lane, LaneClock
+
+
+class TestLaneClock:
+    def test_busy_interval_accounting(self):
+        clock = LaneClock("bne")
+        clock.begin_busy(10.0)
+        clock.advance(5.0)
+        assert clock.end_busy() == 5.0
+        # Idle time jumped over is not busy time.
+        assert clock.busy_ms == 5.0
+        assert clock.frontier_ms == 15.0
+
+    def test_busy_start_cannot_precede_frontier(self):
+        clock = LaneClock("bne", start_ms=100.0)
+        clock.begin_busy(50.0)  # in the shard's past: opens at frontier
+        assert clock.now_ms() == 100.0
+        clock.end_busy()
+        assert clock.busy_ms == 0.0
+
+    def test_nested_busy_rejected(self):
+        clock = LaneClock("bne")
+        clock.begin_busy(0.0)
+        with pytest.raises(SimulationError):
+            clock.begin_busy(1.0)
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(SimulationError):
+            LaneClock("bne").end_busy()
+
+
+class TestLane:
+    def make_lane(self, **kwargs):
+        scheduler = EventScheduler()
+        return scheduler, Lane("bne", scheduler, **kwargs)
+
+    def test_idle_submit_runs_immediately(self):
+        scheduler, lane = self.make_lane()
+        ran = []
+        lane.submit(lambda clock: (clock.advance(7.0), ran.append(clock.now_ms())))
+        assert ran == [7.0]
+        assert lane.n_dispatched == 1
+        assert lane.clock.busy_ms == 7.0
+        # The global clock never moved: the work ran on the lane shard.
+        assert scheduler.clock.now_ms() == 0.0
+
+    def test_busy_submit_queues_at_frontier(self):
+        scheduler, lane = self.make_lane()
+        ran = []
+        lane.submit(lambda clock: clock.advance(10.0))  # busy until 10
+        assert lane.submit(lambda clock: ran.append(clock.now_ms()))
+        assert lane.queued == 1
+        scheduler.run_all()
+        # The queued unit started exactly at the lane frontier.
+        assert ran == [10.0]
+        assert lane.queued == 0
+
+    def test_bounded_queue_sheds_beyond_limit(self):
+        scheduler, lane = self.make_lane(queue_limit=2)
+        lane.submit(lambda clock: clock.advance(10.0))
+        assert lane.submit(lambda clock: None)
+        assert lane.submit(lambda clock: None)
+        # Third queued submission exceeds the bound: shed, counted.
+        assert not lane.submit(lambda clock: None)
+        assert lane.dropped == 1
+        assert lane.peak_queue_depth == 2
+        scheduler.run_all()
+        assert lane.n_dispatched == 3
+
+    def test_queued_units_chain_back_to_back(self):
+        scheduler, lane = self.make_lane()
+        starts = []
+
+        def work(clock):
+            starts.append(clock.now_ms())
+            clock.advance(10.0)
+
+        lane.submit(work)
+        lane.submit(work)
+        lane.submit(work)
+        scheduler.run_all()
+        # Each queued unit runs from the frontier its predecessor left,
+        # even though that time was unknown when it was enqueued.
+        assert starts == [0.0, 10.0, 20.0]
+        assert lane.clock.busy_ms == 30.0
+
+    def test_queue_limit_validated(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SimulationError):
+            Lane("bad", scheduler, queue_limit=0)
+
+    def test_same_timestamp_lane_events_fire_fifo(self):
+        """Two lanes' wakeups at one timestamp run in submission order."""
+        scheduler = EventScheduler()
+        first = Lane("first", scheduler)
+        second = Lane("second", scheduler)
+        order = []
+        # Both lanes are made busy until t=5, then each gets a queued
+        # unit at the same frontier timestamp.
+        first.submit(lambda clock: clock.advance(5.0))
+        second.submit(lambda clock: clock.advance(5.0))
+        first.submit(lambda clock: order.append("first"))
+        second.submit(lambda clock: order.append("second"))
+        scheduler.run_all()
+        assert order == ["first", "second"]
+
+    def test_lanes_overlap_on_independent_clocks(self):
+        """Two shards working 20 ms each overlap: global span stays 20."""
+        scheduler = EventScheduler()
+        lanes = [Lane(name, scheduler) for name in ("a", "b")]
+        for lane in lanes:
+            lane.submit(lambda clock: clock.advance(20.0))
+        assert all(lane.frontier_ms == 20.0 for lane in lanes)
+        assert sum(lane.clock.busy_ms for lane in lanes) == 40.0
+        # 40 ms of work fit in 20 ms of timeline: that is the overlap
+        # the per-site shard model buys.
+        assert max(lane.frontier_ms for lane in lanes) == 20.0

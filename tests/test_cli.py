@@ -118,6 +118,37 @@ class TestFleet:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--strategy", "random"])
 
+    def test_event_engine_reports_lanes(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--files", "9",
+                "--hours", "6",
+                "--slot-minutes", "30",
+                "--seed", "cli-test",
+                "--engine", "event",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Audit lanes" in out
+        assert "concurrency speedup" in out
+        assert "first violation detected" in out
+
+    def test_unknown_engine_exits_2_via_repro_errors(self, capsys):
+        """Engine validation is the fleet's ConfigurationError, not
+        argparse: bad values exit 2 with the library's message."""
+        code = main(["fleet", "--files", "3", "--engine", "threads"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown engine" in err
+
+    def test_bad_lane_queue_exits_2(self, capsys):
+        code = main(["fleet", "--files", "3", "--lanes", "0"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--lanes must be >= 1" in err
+
 
 class TestAnalyse:
     def test_paper_scale(self, capsys):
