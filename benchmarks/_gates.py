@@ -1,0 +1,105 @@
+"""Readable CI gates for the standalone benchmark scripts.
+
+A *gate* is one acceptance bar a bench enforces (e.g. "event engine
+detection speedup >= 2x").  Collecting gates through :class:`Gate`
+instead of bare asserts buys two things:
+
+* **A readable diff on regression.**  When a gate fails, CI shows a
+  table of every gate -- measured value, required bar, margin, status
+  -- instead of a one-line assert, so the log answers "which bar, by
+  how much, and what else moved" without re-running anything.
+* **A machine-readable record.**  ``as_dict`` rows are embedded in the
+  ``BENCH_*.json`` artifacts, so a regression's numbers survive next
+  to the run that produced them.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One acceptance bar: ``measured`` vs ``required``."""
+
+    name: str
+    measured: float
+    required: float
+    #: True when bigger is better (speedups); False for ceilings.
+    higher_is_better: bool = True
+    #: Free-form context shown in the diff table (scenario, units).
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        if self.higher_is_better:
+            return self.measured >= self.required
+        return self.measured <= self.required
+
+    @property
+    def margin(self) -> float:
+        """How far inside (positive) or outside (negative) the bar."""
+        delta = self.measured - self.required
+        return delta if self.higher_is_better else -delta
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "measured": self.measured,
+            "required": self.required,
+            "higher_is_better": self.higher_is_better,
+            "passed": self.passed,
+            "margin": self.margin,
+            "detail": self.detail,
+        }
+
+
+def render_gates(gates: list[Gate], *, title: str = "CI gates") -> str:
+    """The gate table CI prints on every run (diff-style on failure)."""
+    return format_table(
+        ["gate", "measured", "bar", "margin", "status", "detail"],
+        [
+            [
+                gate.name,
+                gate.measured,
+                (">=" if gate.higher_is_better else "<=")
+                + f" {gate.required:g}",
+                gate.margin,
+                "ok" if gate.passed else "REGRESSED",
+                gate.detail,
+            ]
+            for gate in gates
+        ],
+        title=title,
+        decimals=3,
+    )
+
+
+def enforce_gates(gates: list[Gate], *, bench: str) -> int:
+    """Print the gate diff and return the process exit code.
+
+    Passing runs print the table once (for the log); failing runs
+    repeat the regressed rows on stderr so the failure reason is the
+    last thing in the CI output.
+    """
+    print(f"\n{render_gates(gates, title=f'{bench}: CI gates')}")
+    failed = [gate for gate in gates if not gate.passed]
+    if not failed:
+        print(f"OK: all {len(gates)} {bench} gates hold")
+        return 0
+    print(
+        f"FAIL: {len(failed)}/{len(gates)} {bench} gate(s) regressed:",
+        file=sys.stderr,
+    )
+    for gate in failed:
+        op = ">=" if gate.higher_is_better else "<="
+        print(
+            f"  {gate.name}: measured {gate.measured:.3f}, required "
+            f"{op} {gate.required:g} (margin {gate.margin:+.3f})"
+            + (f" -- {gate.detail}" if gate.detail else ""),
+            file=sys.stderr,
+        )
+    return 1

@@ -13,6 +13,12 @@ provider initially keeps only the Sydney copy and quietly serves the
 other audits from it; the replication audit credits one replica.  After
 honest replication, all three are witnessed.
 
+Replication is also a *scheduling* resource: the fleet engine places
+replicas with ``AuditFleet.register(..., replicas=N)`` so work-stealing
+lanes can run a saturated home lane's audits at a sibling replica site
+(see ``examples/fleet_audit.py``), and bridges back to this diversity
+check via ``AuditFleet.replication_auditor()``.
+
 Run:  python examples/replication_audit.py
 """
 

@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli analyse --segments 1000000 --epsilon 0.005
     python -m repro.cli fleet --files 30 --strategy risk-weighted
     python -m repro.cli fleet --engine event --lanes 4
+    python -m repro.cli fleet --engine event --replicas 2 --spindles 1 \
+        --strategy work-stealing --json -
 
 Each subcommand prints the same rows the benchmarks assert on, so the
 CLI is a thin, scriptable window onto :mod:`repro.analysis.experiments`.
@@ -143,6 +145,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
     from repro.errors import ConfigurationError
     from repro.fleet.demo import build_demo_fleet
     from repro.fleet.strategies import make_strategy
@@ -165,11 +169,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             batch_size=args.batch,
             engine=args.engine,
             lane_queue_limit=args.lanes,
+            replicas=args.replicas,
+            spindles=args.spindles,
         )
         report = fleet.run(hours=args.hours)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2) + "\n"
+        if args.json == "-":
+            # Machine-readable mode: the JSON *is* the stdout payload.
+            sys.stdout.write(payload)
+            first = report.first_detection_hours()
+            if violation and first is None:
+                return 1
+            return 0
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.json}")
     print(report.render())
     first = report.first_detection_hours()
     if first is not None:
@@ -185,6 +203,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(
             f"concurrency speedup across {len(report.lanes)} lanes: "
             f"{report.concurrency_speedup:.2f}x"
+        )
+    if report.total_spindle_wait_ms > 0 or report.n_stolen_audits:
+        print(
+            f"spindle contention: {report.total_spindle_wait_ms:.0f} ms "
+            f"queue wait, {report.n_contention_timeouts} contention-induced "
+            f"timeouts, {report.n_stolen_audits} audits migrated by "
+            f"work stealing, {report.n_shed_slots} slots shed"
         )
     if violation and first is None:
         return 1
@@ -290,6 +315,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-lane queue depth: in-flight batches each data-centre "
         "audit lane may hold before shedding slots (event engine; the "
         "lane *count* is always one per data centre)",
+    )
+    fleet.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="audited copies per file across each provider's sites "
+        "(providers are onboarded with at least this many sites); "
+        "replicas are what work-stealing lanes migrate audits to",
+    )
+    fleet.add_argument(
+        "--spindles",
+        type=int,
+        default=None,
+        help="storage arrays per provider; fewer spindles than sites "
+        "makes audit lanes contend for disks (default: one per site)",
+    )
+    fleet.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="dump the FleetReport (lanes, spindles, events) as JSON "
+        "to PATH, or to stdout with '-' (suppresses the table)",
     )
     fleet.set_defaults(func=_cmd_fleet)
 

@@ -36,7 +36,14 @@ class ServeResult:
 
 
 class DataCentre:
-    """A located storage site."""
+    """A located storage site.
+
+    Each site normally gets its own private :class:`StorageServer`;
+    pass ``server`` to back several sites with one *shared* storage
+    array instead (the contended-spindle deployments the fleet's
+    ``spindles=`` option builds -- lookups from every attached site
+    then queue on the one spindle).
+    """
 
     def __init__(
         self,
@@ -47,10 +54,11 @@ class DataCentre:
         cache_bytes: int = 0,
         deterministic_disk: bool = True,
         rng: DeterministicRNG | None = None,
+        server: StorageServer | None = None,
     ) -> None:
         self.name = name
         self.location = location
-        self.server = StorageServer(
+        self.server = server if server is not None else StorageServer(
             disk,
             cache_bytes=cache_bytes,
             deterministic=deterministic_disk,

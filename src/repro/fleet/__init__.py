@@ -28,6 +28,7 @@ from repro.fleet.report import (
     AuditEvent,
     FleetReport,
     LaneStats,
+    SpindleStats,
     TenantSummary,
     ViolationRecord,
 )
@@ -35,8 +36,11 @@ from repro.fleet.strategies import (
     AuditStrategy,
     AuditTask,
     DeadlineStrategy,
+    FleetLoadView,
+    LaneLoad,
     RiskWeightedStrategy,
     RoundRobinStrategy,
+    WorkStealingStrategy,
     make_strategy,
 )
 
@@ -45,11 +49,15 @@ __all__ = [
     "ENGINES",
     "ProviderDeployment",
     "LaneStats",
+    "SpindleStats",
     "AuditStrategy",
     "AuditTask",
+    "LaneLoad",
+    "FleetLoadView",
     "RoundRobinStrategy",
     "RiskWeightedStrategy",
     "DeadlineStrategy",
+    "WorkStealingStrategy",
     "make_strategy",
     "FleetReport",
     "AuditEvent",

@@ -40,6 +40,33 @@ Two engines share all of that machinery:
   single data centre the two engines produce identical audit streams
   (pinned by test).
 
+Shared spindles and replicated placement
+----------------------------------------
+Every fleet storage server runs in the queued shared-resource mode
+(:class:`~repro.netsim.resources.SpindleQueue` attached, requester
+clocks bound per batch), so Delta-t_L -- the disk term GeoProof's
+security argument leans on -- degrades honestly under load instead of
+being a free private constant per lane:
+
+* ``add_provider(..., spindles=M)`` backs the provider's N sites with
+  only M storage arrays (site i on spindle ``i % M``); with N > M
+  several lanes' batched lookups pile onto one spindle and every
+  queued millisecond inflates the observed RTT (surfaced as
+  per-spindle wait/utilization and contention-induced timeout counts
+  in the :class:`FleetReport`).
+* ``register(..., replicas=R)`` places audited copies of a file at R
+  sites of its provider (reusing
+  :class:`~repro.cloud.replication.ReplicaSite` for the per-site
+  verifier + SLA pairing), which is what lets lane-aware strategies
+  (:class:`~repro.fleet.strategies.WorkStealingStrategy`) migrate an
+  audit from a saturated home lane to an idle sibling lane holding a
+  replica -- the audit then runs through the replica site's verifier
+  against the replica site's SLA region and budget.
+
+With ``replicas=1`` and dedicated spindles every queue wait is
+identically zero and nothing is stealable, so the audit stream is
+byte-identical to the pre-contention model (pinned by test).
+
 Usage::
 
     fleet = AuditFleet(seed="demo", strategy=RiskWeightedStrategy(),
@@ -56,9 +83,15 @@ See :mod:`repro.fleet.strategies` for the scheduling contract and
 
 from __future__ import annotations
 
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 
 from repro.cloud.provider import CloudProvider, DataCentre
+from repro.cloud.replication import (
+    NearestCopyStrategy,
+    ReplicaSite,
+    ReplicationAuditor,
+)
 from repro.cloud.sla import SLAPolicy
 from repro.cloud.tpa import AuditOutcome, ThirdPartyAuditor
 from repro.cloud.verifier import VerifierDevice
@@ -70,14 +103,17 @@ from repro.geo.regions import CircularRegion, Region
 from repro.netsim.clock import SimClock
 from repro.netsim.events import EventScheduler
 from repro.netsim.lanes import Lane
+from repro.netsim.resources import SpindleQueue
 from repro.por.parameters import PORParams, TEST_PARAMS
 from repro.storage.hdd import HDDSpec, WD_2500JD
+from repro.storage.server import StorageServer
 from repro.util.validation import check_positive
 
 from repro.fleet.report import (
     AuditEvent,
     FleetReport,
     LaneStats,
+    SpindleStats,
     TenantSummary,
     ViolationRecord,
 )
@@ -85,6 +121,8 @@ from repro.fleet.strategies import (
     MS_PER_HOUR,
     AuditStrategy,
     AuditTask,
+    FleetLoadView,
+    LaneLoad,
     RoundRobinStrategy,
 )
 
@@ -167,6 +205,10 @@ class AuditFleet:
         self._deployments: dict[str, ProviderDeployment] = {}
         self._tasks: dict[tuple[str, bytes], AuditTask] = {}
         self._records: dict[tuple[str, bytes], OutsourcedFile] = {}
+        #: Replica placements: (provider, file_id) -> {site: ReplicaSite}.
+        self._replica_sites: dict[
+            tuple[str, bytes], dict[str, ReplicaSite]
+        ] = {}
 
     # -- fleet construction ---------------------------------------------
 
@@ -176,12 +218,22 @@ class AuditFleet:
         datacentres: list[tuple[str, GeoPoint]],
         *,
         disk: HDDSpec = WD_2500JD,
+        spindles: int | None = None,
     ) -> CloudProvider:
         """Register a provider with located data centres.
 
         Builds the provider, one verifier device per site (on the
         shared fleet clock), and a dedicated TPA; returns the provider
         so callers can add more sites or install adversary strategies.
+
+        ``spindles`` backs the provider's N sites with only M storage
+        arrays: site i queues its lookups on spindle ``i % M``, so
+        with M < N several audit lanes contend for one disk and queue
+        waits inflate their observed RTTs.  The default (``None``)
+        keeps the classic dedicated spindle per site.  Every server is
+        built in the queued shared-resource mode either way, so the
+        report's per-spindle accounting is uniform (dedicated spindles
+        simply never show wait).
         """
         if name in self._deployments:
             raise ConfigurationError(f"duplicate provider {name!r}")
@@ -189,11 +241,31 @@ class AuditFleet:
             raise ConfigurationError(
                 f"provider {name!r} needs at least one data centre"
             )
+        if spindles is not None and not 1 <= spindles <= len(datacentres):
+            raise ConfigurationError(
+                f"spindles must be in 1..{len(datacentres)} "
+                f"(one per site at most), got {spindles}"
+            )
         provider = CloudProvider(name, rng=self._rng.fork(f"provider-{name}"))
+        shared: list[StorageServer] = []
+        if spindles is not None:
+            shared = [
+                StorageServer(
+                    disk, spindle=SpindleQueue(f"{name}/spindle-{i}")
+                )
+                for i in range(spindles)
+            ]
         verifiers: dict[str, VerifierDevice] = {}
-        for site_name, location in datacentres:
+        for i, (site_name, location) in enumerate(datacentres):
+            server = (
+                shared[i % spindles]
+                if spindles is not None
+                else StorageServer(
+                    disk, spindle=SpindleQueue(f"{name}/{site_name}")
+                )
+            )
             provider.add_datacentre(
-                DataCentre(site_name, location, disk=disk)
+                DataCentre(site_name, location, disk=disk, server=server)
             )
             verifiers[site_name] = VerifierDevice(
                 f"verifier-{name}-{site_name}".encode(),
@@ -241,6 +313,8 @@ class AuditFleet:
         k_rounds: int | None = None,
         region: Region | None = None,
         disk: HDDSpec | None = None,
+        replicas: int = 1,
+        replica_datacentres: list[str] | None = None,
     ) -> OutsourcedFile:
         """Outsource a tenant file and enqueue it for recurring audits.
 
@@ -251,6 +325,17 @@ class AuditFleet:
         the tenant's declared corruption tolerance (feeds risk-weighted
         scheduling), ``interval_hours`` their contracted audit cadence
         (feeds deadline scheduling).
+
+        ``replicas`` places audited copies at that many of the
+        provider's sites in total: the contracted home plus the next
+        sites in the provider's onboarding order (or the explicit
+        ``replica_datacentres``).  Each replica site gets a
+        :class:`~repro.cloud.replication.ReplicaSite` record pairing
+        that site's verifier with a site-centred SLA, so an audit may
+        run there (work-stealing migration, or a full
+        :meth:`replication_auditor` round) under the correct region
+        and timing budget.  The audit *cadence* stays per file -- one
+        :class:`AuditTask`, schedulable at home or any replica.
         """
         deployment = self.deployment(provider)
         key = (provider, file_id)
@@ -263,6 +348,9 @@ class AuditFleet:
         # the returned CloudProvider) and so has no verifier appliance;
         # otherwise the error would only surface mid-run.
         deployment.verifier_for(datacentre)
+        replica_names = self._resolve_replica_sites(
+            deployment, datacentre, replicas, replica_datacentres
+        )
         k = k_rounds if k_rounds is not None else self.default_k_rounds
         sla = SLAPolicy(
             region=region
@@ -287,6 +375,7 @@ class AuditFleet:
                 f"provider-{provider}"
             ),
         )
+        self._place_replicas(deployment, file_id, replica_names, k)
         task = AuditTask(
             tenant=tenant,
             provider_name=provider,
@@ -301,10 +390,126 @@ class AuditFleet:
             k_rounds=k,
             order=len(self._tasks),
             registered_ms=self.clock.now_ms(),
+            replica_datacentres=tuple(replica_names),
         )
         self._tasks[key] = task
         self._records[key] = record
         return record
+
+    def _resolve_replica_sites(
+        self,
+        deployment: ProviderDeployment,
+        home: str,
+        replicas: int,
+        explicit: list[str] | None,
+    ) -> list[str]:
+        """The non-home sites a registration places replicas at."""
+        names = deployment.provider.datacentre_names()
+        if explicit is not None:
+            chosen = list(explicit)
+        else:
+            if not 1 <= replicas <= len(names):
+                raise ConfigurationError(
+                    f"replicas must be in 1..{len(names)} (the provider's "
+                    f"site count), got {replicas}"
+                )
+            # Home first, then the next onboarded sites, wrapping.
+            start = names.index(home)
+            chosen = [
+                names[(start + offset) % len(names)]
+                for offset in range(1, replicas)
+            ]
+        seen: set[str] = set()
+        for name in chosen:
+            if name == home or name in seen:
+                raise ConfigurationError(
+                    f"duplicate replica placement at {name!r}"
+                )
+            seen.add(name)
+            deployment.verifier_for(name)  # fail fast, as for the home
+        return chosen
+
+    def _place_replicas(
+        self,
+        deployment: ProviderDeployment,
+        file_id: bytes,
+        replica_names: list[str],
+        k_rounds: int,
+    ) -> None:
+        """Copy the file to its replica sites and record their SLAs."""
+        if not replica_names:
+            return
+        provider = deployment.provider
+        sites: dict[str, ReplicaSite] = {}
+        for name in replica_names:
+            destination = provider.datacentre(name)
+            # Sites sharing one storage array already hold the bytes;
+            # the replica record (verifier + site SLA) is still what
+            # makes the copy *auditable* at that site.
+            if not destination.server.store.has_file(file_id):
+                provider.replicate_to(file_id, name)
+            sites[name] = ReplicaSite(
+                name=name,
+                verifier=deployment.verifier_for(name),
+                sla=SLAPolicy(
+                    region=CircularRegion(
+                        centre=destination.location,
+                        radius_km=self.region_radius_km,
+                    ),
+                    disk=destination.server.disk.spec,
+                    segment_bytes=(
+                        self.params.segment_bytes + self.params.tag_bytes
+                    ),
+                    min_rounds=k_rounds,
+                ),
+            )
+        self._replica_sites[(provider.name, file_id)] = sites
+
+    def replica_sites(
+        self, provider: str, file_id: bytes
+    ) -> dict[str, ReplicaSite]:
+        """The replica-site records of a registered file (may be empty)."""
+        self.record(provider, file_id)  # validates registration
+        return dict(self._replica_sites.get((provider, file_id), {}))
+
+    def replication_auditor(
+        self, provider: str, file_id: bytes
+    ) -> ReplicationAuditor:
+        """A replication auditor over a file's home + replica sites.
+
+        Bridges the fleet's replicated placement to
+        :meth:`~repro.cloud.replication.ReplicationAuditor.audit_round`:
+        the home site and every replica site are registered with their
+        fleet verifiers and site-centred SLAs, so one round counts the
+        provably distinct copies the provider actually keeps
+        (``ReplicaSite.timing_radius_km`` drives the pairwise
+        separation filter).
+        """
+        self.record(provider, file_id)  # validates registration
+        deployment = self.deployment(provider)
+        task = self._tasks[(provider, file_id)]
+        home_dc = deployment.provider.datacentre(task.datacentre)
+        auditor = ReplicationAuditor(deployment.tpa)
+        auditor.add_site(
+            ReplicaSite(
+                name=task.datacentre,
+                verifier=deployment.verifier_for(task.datacentre),
+                sla=SLAPolicy(
+                    region=CircularRegion(
+                        centre=home_dc.location,
+                        radius_km=self.region_radius_km,
+                    ),
+                    disk=home_dc.server.disk.spec,
+                    segment_bytes=(
+                        self.params.segment_bytes + self.params.tag_bytes
+                    ),
+                    min_rounds=task.k_rounds,
+                ),
+            )
+        )
+        for site in self._replica_sites.get((provider, file_id), {}).values():
+            auditor.add_site(site)
+        return auditor
 
     def record(self, provider: str, file_id: bytes) -> OutsourcedFile:
         """The client-side record of a registered file."""
@@ -337,25 +542,65 @@ class AuditFleet:
     # -- auditing --------------------------------------------------------
 
     def audit_once(
-        self, task: AuditTask, *, clock: SimClock | None = None
+        self,
+        task: AuditTask,
+        *,
+        clock: SimClock | None = None,
+        at_site: str | None = None,
     ) -> AuditOutcome:
-        """Run one audit of a task through its contracted verifier.
+        """Run one audit of a task through a contracted verifier.
 
         ``clock`` is the clock the timed phase runs on -- the fleet
-        clock in the slot engine, the task's lane clock in the event
-        engine (injected down through the TPA and verifier).
+        clock in the slot engine, the executing lane's clock in the
+        event engine (injected down through the TPA and verifier).
+
+        ``at_site`` runs the audit at one of the task's *replica*
+        sites instead of its home (a work-stealing migration): that
+        site's verifier asks the questions and that site's
+        :class:`~repro.cloud.replication.ReplicaSite` SLA supplies the
+        region and timing budget.  Either way, when the provider is
+        honest and the file replicated, requests are served from the
+        copy nearest the auditing verifier
+        (:class:`~repro.cloud.replication.NearestCopyStrategy`) -- an
+        installed adversary strategy is never overridden.
         """
         clock = clock if clock is not None else self.clock
         deployment = self.deployment(task.provider_name)
-        outcome = deployment.tpa.audit(
-            task.file_id,
-            deployment.verifier_for(task.datacentre),
-            deployment.provider,
-            k=task.k_rounds,
-            clock=clock,
+        site_name = task.datacentre if at_site is None else at_site
+        verifier = deployment.verifier_for(site_name)
+        rtt_max_ms = None
+        region = None
+        if site_name != task.datacentre:
+            replica = self._replica_sites.get(task.key, {}).get(site_name)
+            if replica is None:
+                raise ConfigurationError(
+                    f"file {task.file_id!r} has no replica at {site_name!r}"
+                )
+            rtt_max_ms = replica.sla.rtt_max_ms
+            region = replica.sla.region
+        provider = deployment.provider
+        serve_local = (
+            provider.strategy is None and bool(task.replica_datacentres)
         )
+        if serve_local:
+            provider.set_strategy(NearestCopyStrategy(verifier.location))
+        try:
+            outcome = deployment.tpa.audit(
+                task.file_id,
+                verifier,
+                provider,
+                k=task.k_rounds,
+                rtt_max_ms=rtt_max_ms,
+                region=region,
+                clock=clock,
+            )
+        finally:
+            if serve_local:
+                provider.set_strategy(None)
         task.last_audit_ms = clock.now_ms()
         task.audits += 1
+        if site_name != task.datacentre:
+            task.stolen_audits += 1
         return outcome
 
     def next_batch(
@@ -440,13 +685,20 @@ class AuditFleet:
             # One dispatch pays for the whole batch: the TPA wakes the
             # site's verifier appliance once and streams every request.
             self.clock.advance(self.dispatch_overhead_ms)
-            with accounting.site_window(site) as window:
+            with accounting.service_context(site, self.clock), \
+                    accounting.site_window(site) as window:
                 for task in batch:
+                    wait_mark = accounting.provider_wait_ms(site[0])
                     outcome = self.audit_once(task)
                     events.append(
                         self._event_for(
                             slot, task, outcome, start_ms, horizon_ms,
                             clock=self.clock,
+                            executed_at=task.datacentre,
+                            spindle_wait_ms=(
+                                accounting.provider_wait_ms(site[0])
+                                - wait_mark
+                            ),
                         )
                     )
             accounting.charge(
@@ -454,6 +706,7 @@ class AuditFleet:
                 n_audits=len(batch),
                 busy_ms=self.clock.now_ms() - batch_start,
                 disk_ms=window.disk_ms,
+                wait_ms=window.wait_ms,
             )
             slot += 1
         return self._build_report(
@@ -462,6 +715,7 @@ class AuditFleet:
             events=events,
             engine="slot",
             lanes=accounting.stats(span_ms=hours * MS_PER_HOUR),
+            spindles=accounting.spindle_stats(span_ms=hours * MS_PER_HOUR),
         )
 
     def _run_event(
@@ -501,19 +755,38 @@ class AuditFleet:
                 if lane_clock.now_ms() >= horizon_ms:
                     return
                 lane_tasks = accounting.tasks_at(site)
-                batch = active.rank_lane(lane_tasks, lane_clock.now_ms())
+                batch = active.rank_lane(
+                    lane_tasks,
+                    lane_clock.now_ms(),
+                    accounting.lane_load(site, lanes),
+                    accounting.fleet_view(lanes),
+                )
                 batch = batch[: self.batch_size]
                 if not batch:
                     return
                 slot_index = accounting.n_batches_at(site)
                 lane_clock.advance(self.dispatch_overhead_ms)
-                with accounting.site_window(site) as window:
+                n_stolen = 0
+                with accounting.service_context(site, lane_clock), \
+                        accounting.site_window(site) as window:
                     for task in batch:
-                        outcome = self.audit_once(task, clock=lane_clock)
+                        stolen = task.site != site
+                        n_stolen += stolen
+                        wait_mark = accounting.provider_wait_ms(site[0])
+                        outcome = self.audit_once(
+                            task,
+                            clock=lane_clock,
+                            at_site=site[1] if stolen else None,
+                        )
                         recorded.append(
                             self._event_for(
                                 slot_index, task, outcome, start_ms,
                                 horizon_ms, clock=lane_clock,
+                                executed_at=site[1],
+                                spindle_wait_ms=(
+                                    accounting.provider_wait_ms(site[0])
+                                    - wait_mark
+                                ),
                             )
                         )
                 accounting.charge(
@@ -521,6 +794,8 @@ class AuditFleet:
                     n_audits=len(batch),
                     busy_ms=0.0,  # the LaneClock tracks busy time itself
                     disk_ms=window.disk_ms,
+                    wait_ms=window.wait_ms,
+                    n_stolen=n_stolen,
                 )
             return dispatch
 
@@ -568,6 +843,7 @@ class AuditFleet:
             lanes=accounting.stats(
                 span_ms=hours * MS_PER_HOUR, lanes=lanes
             ),
+            spindles=accounting.spindle_stats(span_ms=hours * MS_PER_HOUR),
         )
 
     # -- report assembly -------------------------------------------------
@@ -581,14 +857,19 @@ class AuditFleet:
         horizon_ms: float,
         *,
         clock: SimClock,
+        executed_at: str,
+        spindle_wait_ms: float = 0.0,
     ) -> AuditEvent:
         """Record one audit at its (possibly lane-local) finish time.
 
         ``slot`` is the dispatching slot index -- global in the slot
         engine, lane-local in the event engine (identical for a
-        single-site fleet).  Audits whose batch legitimately started
-        inside the horizon but finished past it are flagged, not
-        dropped, so both engines treat overruns identically.
+        single-site fleet).  ``executed_at`` is the lane that ran the
+        audit (differs from the task's home for stolen audits) and
+        ``spindle_wait_ms`` the shared-spindle queue wait its lookups
+        absorbed.  Audits whose batch legitimately started inside the
+        horizon but finished past it are flagged, not dropped, so both
+        engines treat overruns identically.
         """
         verdict = outcome.verdict
         finished_ms = clock.now_ms()
@@ -604,6 +885,8 @@ class AuditFleet:
             rtt_max_ms=verdict.rtt_max_ms,
             failure_reasons=tuple(verdict.failure_reasons),
             overran_horizon=finished_ms > horizon_ms,
+            executed_at=executed_at,
+            spindle_wait_ms=spindle_wait_ms,
         )
 
     def _build_report(
@@ -614,6 +897,7 @@ class AuditFleet:
         events: list[AuditEvent],
         engine: str,
         lanes: tuple[LaneStats, ...],
+        spindles: tuple[SpindleStats, ...] = (),
     ) -> FleetReport:
         # First failing audit per (provider, file_id), in fleet-
         # timeline order (events arrive pre-merged by timestamp).
@@ -676,6 +960,7 @@ class AuditFleet:
             ),
             engine=engine,
             lanes=lanes,
+            spindles=spindles,
         )
 
 
@@ -701,9 +986,42 @@ class _LaneAccounting:
                 self._tasks_by_site[task.site] = []
             self._tasks_by_site[task.site].append(task)
         self._acc: dict[tuple[str, str], dict[str, float]] = {
-            site: {"batches": 0, "audits": 0, "disk_ms": 0.0, "busy_ms": 0.0}
+            site: {
+                "batches": 0, "audits": 0, "disk_ms": 0.0, "busy_ms": 0.0,
+                "wait_ms": 0.0, "stolen": 0,
+            }
             for site in self.sites
         }
+        # Spindle census: every distinct SpindleQueue across the
+        # registered providers, in provider/site onboarding order,
+        # with run-start snapshots so report rows are per-run deltas
+        # (the queues themselves accumulate across runs).
+        self._spindles: list[tuple[str, SpindleQueue, tuple[str, ...]]] = []
+        self._spindle_marks: dict[int, tuple[float, float, int, int]] = {}
+        for provider_name in fleet.provider_names():
+            provider = fleet.deployment(provider_name).provider
+            by_id: dict[int, tuple[SpindleQueue, list[str]]] = {}
+            for dc_name in provider.datacentre_names():
+                spindle = provider.datacentre(dc_name).server.spindle
+                if spindle is None:
+                    continue
+                if id(spindle) not in by_id:
+                    by_id[id(spindle)] = (spindle, [])
+                by_id[id(spindle)][1].append(dc_name)
+            for spindle, dc_names in by_id.values():
+                self._spindles.append(
+                    (provider_name, spindle, tuple(dc_names))
+                )
+                self._spindle_marks[id(spindle)] = (
+                    spindle.busy_ms,
+                    spindle.wait_ms,
+                    spindle.n_requests,
+                    spindle.n_waited,
+                )
+                # A max cannot be recovered from before/after totals
+                # the way the sums above are; start a fresh window so
+                # peak_wait_ms is this run's peak, not a predecessor's.
+                spindle.reset_peak()
 
     def tasks_at(self, site: tuple[str, str]) -> list[AuditTask]:
         """One site's slice of the audit queue, in registration order."""
@@ -723,6 +1041,64 @@ class _LaneAccounting:
         )
         return server.serve_window()
 
+    @contextmanager
+    def service_context(self, site: tuple[str, str], clock: SimClock):
+        """Bind a batch's requester clock to its provider's servers.
+
+        Bound on *every* server of the provider (not just the site's)
+        because the serving policy decides which copy answers: an
+        honest replicated provider serves nearest-copy, a relayer
+        serves from its remote site -- wherever the lookups land, they
+        must queue at that spindle with this batch's arrival times.
+        """
+        provider = self._fleet.deployment(site[0]).provider
+        with ExitStack() as stack:
+            seen: set[int] = set()
+            for dc_name in provider.datacentre_names():
+                server = provider.datacentre(dc_name).server
+                if id(server) in seen:
+                    continue
+                seen.add(id(server))
+                stack.enter_context(server.timed_with(clock))
+            yield
+
+    def provider_wait_ms(self, provider_name: str) -> float:
+        """Total queue wait accumulated on one provider's spindles.
+
+        Snapshot this before and after an audit: the delta is the
+        contention that audit's lookups absorbed, whichever spindle
+        served them.
+        """
+        return sum(
+            spindle.wait_ms
+            for name, spindle, _ in self._spindles
+            if name == provider_name
+        )
+
+    def lane_load(
+        self,
+        site: tuple[str, str],
+        lanes: dict[tuple[str, str], Lane],
+    ) -> LaneLoad:
+        """One lane's load snapshot for strategy ranking."""
+        lane = lanes[site]
+        return LaneLoad(
+            site=site,
+            queue_depth=lane.queued,
+            frontier_ms=lane.frontier_ms,
+            busy_ms=lane.clock.busy_ms,
+            n_dispatched=lane.n_dispatched,
+        )
+
+    def fleet_view(
+        self, lanes: dict[tuple[str, str], Lane]
+    ) -> FleetLoadView:
+        """The cross-lane snapshot handed to lane-aware strategies."""
+        return FleetLoadView(
+            loads=[self.lane_load(site, lanes) for site in self.sites],
+            tasks_by_site=self._tasks_by_site,
+        )
+
     def n_batches_at(self, site: tuple[str, str]) -> int:
         """Batches dispatched at a site so far (the lane slot index)."""
         return int(self._acc[site]["batches"])
@@ -734,6 +1110,8 @@ class _LaneAccounting:
         n_audits: int,
         busy_ms: float,
         disk_ms: float,
+        wait_ms: float = 0.0,
+        n_stolen: int = 0,
     ) -> None:
         """Account one dispatched batch against its lane."""
         acc = self._acc[site]
@@ -741,6 +1119,8 @@ class _LaneAccounting:
         acc["audits"] += n_audits
         acc["busy_ms"] += busy_ms
         acc["disk_ms"] += disk_ms
+        acc["wait_ms"] += wait_ms
+        acc["stolen"] += n_stolen
 
     def stats(
         self,
@@ -750,16 +1130,19 @@ class _LaneAccounting:
     ) -> tuple[LaneStats, ...]:
         """Freeze the accounting into report rows.
 
-        With ``lanes`` (event engine) busy time and queue stats come
-        from each :class:`Lane`; without (slot engine) busy time is
-        the accumulated batch spans and queue depth is zero by
-        construction.
+        With ``lanes`` (event engine) busy time, wait classification
+        and queue stats come from each :class:`Lane`; without (slot
+        engine) busy time is the accumulated batch spans and queue
+        depth is zero by construction.
         """
         rows = []
         for site in self.sites:
             acc = self._acc[site]
             lane = lanes.get(site) if lanes is not None else None
             busy_ms = lane.clock.busy_ms if lane is not None else acc["busy_ms"]
+            wait_ms = (
+                lane.clock.waiting_ms if lane is not None else acc["wait_ms"]
+            )
             rows.append(
                 LaneStats(
                     provider=site[0],
@@ -773,6 +1156,31 @@ class _LaneAccounting:
                         lane.peak_queue_depth if lane is not None else 0
                     ),
                     dropped_slots=lane.dropped if lane is not None else 0,
+                    spindle_wait_ms=wait_ms,
+                    stolen_audits=int(acc["stolen"]),
+                )
+            )
+        return tuple(rows)
+
+    def spindle_stats(self, *, span_ms: float) -> tuple[SpindleStats, ...]:
+        """Per-spindle contention rows (this run's deltas)."""
+        rows = []
+        for provider_name, spindle, dc_names in self._spindles:
+            busy0, wait0, requests0, waited0 = self._spindle_marks[
+                id(spindle)
+            ]
+            busy = spindle.busy_ms - busy0
+            rows.append(
+                SpindleStats(
+                    provider=provider_name,
+                    spindle=spindle.name,
+                    sites=dc_names,
+                    n_requests=spindle.n_requests - requests0,
+                    n_waited=spindle.n_waited - waited0,
+                    busy_ms=busy,
+                    wait_ms=spindle.wait_ms - wait0,
+                    peak_wait_ms=spindle.peak_wait_ms,
+                    utilization=busy / span_ms if span_ms > 0 else 0.0,
                 )
             )
         return tuple(rows)

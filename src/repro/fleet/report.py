@@ -3,11 +3,14 @@
 A :class:`FleetReport` is the deliverable of
 :meth:`repro.fleet.fleet.AuditFleet.run`: per-tenant acceptance rates,
 violation-detection latencies, the breakdown of GeoProof verdicts by
-failure mode, and per-datacentre lane activity (:class:`LaneStats`:
-utilization, queue depth, shed slots, and the concurrency speedup the
-event engine extracted), all rendered through the same ASCII
-formatting the paper-table benches use
-(:mod:`repro.analysis.reporting`).
+failure mode, per-datacentre lane activity (:class:`LaneStats`:
+utilization, queue depth, shed slots, spindle wait, stolen audits, and
+the concurrency speedup the event engine extracted), and per-spindle
+contention accounting (:class:`SpindleStats`: queue wait and
+utilization of each shared storage array), all rendered through the
+same ASCII formatting the paper-table benches use
+(:mod:`repro.analysis.reporting`) and exportable as machine-readable
+JSON via :meth:`FleetReport.to_dict` (the ``fleet --json`` CLI path).
 
 Everything here is a frozen dataclass built from deterministic inputs,
 so two runs of the same seeded fleet compare equal (`==`) field by
@@ -20,6 +23,11 @@ from dataclasses import dataclass
 
 from repro.analysis.reporting import format_table
 from repro.fleet.strategies import MS_PER_HOUR
+
+
+def _file_label(file_id: bytes) -> str:
+    """Human/JSON-safe rendering of a file id."""
+    return file_id.decode("utf-8", "replace")
 
 
 @dataclass(frozen=True)
@@ -41,11 +49,37 @@ class AuditEvent:
     #: engines flag these the same way instead of silently mixing them
     #: with in-window events.
     overran_horizon: bool = False
+    #: The data centre whose lane actually ran the audit.  Equals
+    #: ``datacentre`` (the contracted home) unless a work-stealing
+    #: lane migrated the audit to a replica site.
+    executed_at: str = ""
+    #: Spindle queue wait this audit's lookups absorbed (contention on
+    #: a shared storage array); 0 on dedicated spindles.
+    spindle_wait_ms: float = 0.0
 
     @property
     def at_hours(self) -> float:
         """Simulated hours since fleet start when this audit finished."""
         return self.at_ms / MS_PER_HOUR
+
+    @property
+    def stolen(self) -> bool:
+        """Whether a sibling lane ran this audit instead of the home."""
+        return bool(self.executed_at) and self.executed_at != self.datacentre
+
+    @property
+    def contention_timeout(self) -> bool:
+        """A timing failure at least partly caused by spindle queueing.
+
+        The signature of contention-driven false rejection: the
+        verdict tripped the Delta-t_max bound *and* the audit's
+        lookups absorbed non-zero shared-spindle wait.
+        """
+        return (
+            not self.accepted
+            and "timing" in self.failure_reasons
+            and self.spindle_wait_ms > 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -73,11 +107,55 @@ class LaneStats:
     peak_queue_depth: int
     #: Slot ticks shed because the bounded queue was full.
     dropped_slots: int
+    #: Share of ``busy_ms`` spent parked on shared spindle queues
+    #: (contention, not productive disk work); 0 on dedicated disks.
+    spindle_wait_ms: float = 0.0
+    #: Audits this lane executed for files homed at sibling lanes
+    #: (work-stealing migrations it absorbed).
+    stolen_audits: int = 0
 
     @property
     def site(self) -> tuple[str, str]:
         """The (provider, data centre) lane key."""
         return (self.provider, self.datacentre)
+
+
+@dataclass(frozen=True)
+class SpindleStats:
+    """One storage spindle's contention accounting over a run.
+
+    A spindle is one :class:`~repro.netsim.resources.SpindleQueue` --
+    dedicated (one site) or shared (several sites' lanes queue on it).
+    All counters are deltas for this run only.
+    """
+
+    provider: str
+    #: The spindle queue's name (e.g. ``acme/spindle-0``).
+    spindle: str
+    #: Data centres backed by this spindle, in registration order.
+    sites: tuple[str, ...]
+    #: Lookups serviced this run.
+    n_requests: int
+    #: Lookups that had to queue behind another lane's service.
+    n_waited: int
+    #: Seek + rotate + transfer time granted this run.
+    busy_ms: float
+    #: Queue wait absorbed by requesters this run.
+    wait_ms: float
+    #: Largest single-lookup wait this run.
+    peak_wait_ms: float
+    #: ``busy_ms`` over the run's horizon span.
+    utilization: float
+
+    @property
+    def shared(self) -> bool:
+        """Whether more than one site's lane queues on this spindle."""
+        return len(self.sites) > 1
+
+    @property
+    def mean_wait_ms(self) -> float:
+        """Average queue wait per serviced lookup."""
+        return self.wait_ms / self.n_requests if self.n_requests else 0.0
 
 
 @dataclass(frozen=True)
@@ -129,6 +207,8 @@ class FleetReport:
     engine: str = "slot"
     #: Per-lane activity, in lane creation (first registration) order.
     lanes: tuple[LaneStats, ...] = ()
+    #: Per-spindle contention accounting, in provider/spindle order.
+    spindles: tuple[SpindleStats, ...] = ()
 
     @property
     def n_audits(self) -> int:
@@ -139,6 +219,33 @@ class FleetReport:
     def n_overrun_events(self) -> int:
         """Audits that finished past the run horizon (flagged, kept)."""
         return sum(1 for e in self.events if e.overran_horizon)
+
+    @property
+    def n_stolen_audits(self) -> int:
+        """Audits executed at a replica site instead of the home lane."""
+        return sum(1 for e in self.events if e.stolen)
+
+    @property
+    def n_contention_timeouts(self) -> int:
+        """Timing failures with non-zero shared-spindle queue wait.
+
+        The count of audits a *dedicated* spindle would plausibly have
+        accepted: the timing bound tripped while the lookups were
+        queued behind other lanes' service.  (Relayed audits also fail
+        timing but absorb no contracted-spindle wait, so they are not
+        counted here.)
+        """
+        return sum(1 for e in self.events if e.contention_timeout)
+
+    @property
+    def n_shed_slots(self) -> int:
+        """Slot ticks shed fleet-wide by saturated bounded lane queues."""
+        return sum(lane.dropped_slots for lane in self.lanes)
+
+    @property
+    def total_spindle_wait_ms(self) -> float:
+        """Queue wait absorbed across every spindle this run."""
+        return sum(s.wait_ms for s in self.spindles)
 
     @property
     def concurrency_speedup(self) -> float:
@@ -203,6 +310,114 @@ class FleetReport:
                 return summary
         return None
 
+    # -- machine-readable export ----------------------------------------
+
+    def to_dict(self, *, include_events: bool = True) -> dict:
+        """The whole report as JSON-serialisable plain data.
+
+        This is the ``fleet --json`` payload: summary aggregates plus
+        the per-lane, per-spindle, per-tenant and violation tables,
+        and (unless ``include_events=False``) the full merged audit
+        stream.  File ids are decoded with replacement so arbitrary
+        byte ids cannot break serialisation.
+        """
+        payload = {
+            "strategy": self.strategy,
+            "engine": self.engine,
+            "simulated_hours": self.simulated_hours,
+            "n_providers": self.n_providers,
+            "n_files": self.n_files,
+            "n_audits": self.n_audits,
+            "n_batches": self.n_batches,
+            "acceptance_rate": self.acceptance_rate,
+            "audits_per_simulated_hour": self.audits_per_simulated_hour,
+            "overhead_saved_ms": self.overhead_saved_ms,
+            "concurrency_speedup": self.concurrency_speedup,
+            "first_detection_hours": self.first_detection_hours(),
+            "n_overrun_events": self.n_overrun_events,
+            "n_stolen_audits": self.n_stolen_audits,
+            "n_contention_timeouts": self.n_contention_timeouts,
+            "n_shed_slots": self.n_shed_slots,
+            "total_spindle_wait_ms": self.total_spindle_wait_ms,
+            "verdict_breakdown": {
+                label: count for label, count in self.verdict_breakdown
+            },
+            "tenants": [
+                {
+                    "tenant": t.tenant,
+                    "n_files": t.n_files,
+                    "n_audits": t.n_audits,
+                    "n_accepted": t.n_accepted,
+                    "acceptance_rate": t.acceptance_rate,
+                }
+                for t in self.tenants
+            ],
+            "lanes": [
+                {
+                    "provider": lane.provider,
+                    "datacentre": lane.datacentre,
+                    "n_batches": lane.n_batches,
+                    "n_audits": lane.n_audits,
+                    "busy_ms": lane.busy_ms,
+                    "disk_busy_ms": lane.disk_busy_ms,
+                    "spindle_wait_ms": lane.spindle_wait_ms,
+                    "utilization": lane.utilization,
+                    "peak_queue_depth": lane.peak_queue_depth,
+                    "dropped_slots": lane.dropped_slots,
+                    "stolen_audits": lane.stolen_audits,
+                }
+                for lane in self.lanes
+            ],
+            "spindles": [
+                {
+                    "provider": s.provider,
+                    "spindle": s.spindle,
+                    "sites": list(s.sites),
+                    "shared": s.shared,
+                    "n_requests": s.n_requests,
+                    "n_waited": s.n_waited,
+                    "busy_ms": s.busy_ms,
+                    "wait_ms": s.wait_ms,
+                    "mean_wait_ms": s.mean_wait_ms,
+                    "peak_wait_ms": s.peak_wait_ms,
+                    "utilization": s.utilization,
+                }
+                for s in self.spindles
+            ],
+            "violations": [
+                {
+                    "tenant": v.tenant,
+                    "provider": v.provider,
+                    "file_id": _file_label(v.file_id),
+                    "detected_at_hours": v.detected_at_hours,
+                    "failure_reasons": list(v.failure_reasons),
+                }
+                for v in self.violations
+            ],
+        }
+        if include_events:
+            payload["events"] = [
+                {
+                    "slot": e.slot,
+                    "tenant": e.tenant,
+                    "provider": e.provider,
+                    "file_id": _file_label(e.file_id),
+                    "datacentre": e.datacentre,
+                    "executed_at": e.executed_at,
+                    "stolen": e.stolen,
+                    "at_ms": e.at_ms,
+                    "accepted": e.accepted,
+                    "max_rtt_ms": e.max_rtt_ms,
+                    "rtt_max_ms": e.rtt_max_ms,
+                    "spindle_wait_ms": e.spindle_wait_ms,
+                    "contention_timeout": e.contention_timeout,
+                    "failure_reasons": list(e.failure_reasons),
+                    "overran_horizon": e.overran_horizon,
+                }
+                for e in self.events
+            ]
+        return payload
+
     # -- rendering ------------------------------------------------------
 
     def render(self) -> str:
@@ -244,7 +459,8 @@ class FleetReport:
             sections.append(
                 format_table(
                     ["provider", "site", "batches", "audits", "busy ms",
-                     "disk ms", "util", "peak queue", "dropped"],
+                     "disk ms", "wait ms", "util", "peak queue", "dropped",
+                     "stolen"],
                     [
                         [
                             lane.provider,
@@ -253,15 +469,45 @@ class FleetReport:
                             lane.n_audits,
                             lane.busy_ms,
                             lane.disk_busy_ms,
+                            lane.spindle_wait_ms,
                             lane.utilization,
                             lane.peak_queue_depth,
                             lane.dropped_slots,
+                            lane.stolen_audits,
                         ]
                         for lane in self.lanes
                     ],
                     title=(
                         "Audit lanes (concurrency speedup "
                         f"{self.concurrency_speedup:.2f}x)"
+                    ),
+                    decimals=3,
+                )
+            )
+        if self.spindles:
+            sections.append(
+                format_table(
+                    ["provider", "spindle", "sites", "lookups", "queued",
+                     "busy ms", "wait ms", "peak wait", "util"],
+                    [
+                        [
+                            s.provider,
+                            s.spindle,
+                            "+".join(s.sites),
+                            s.n_requests,
+                            s.n_waited,
+                            s.busy_ms,
+                            s.wait_ms,
+                            s.peak_wait_ms,
+                            s.utilization,
+                        ]
+                        for s in self.spindles
+                    ],
+                    title=(
+                        "Storage spindles "
+                        f"({self.n_contention_timeouts} contention-induced "
+                        f"timeouts, {self.n_stolen_audits} stolen audits, "
+                        f"{self.n_shed_slots} shed slots)"
                     ),
                     decimals=3,
                 )
@@ -274,7 +520,7 @@ class FleetReport:
                         [
                             v.tenant,
                             v.provider,
-                            v.file_id.decode("utf-8", "replace"),
+                            _file_label(v.file_id),
                             v.detected_at_hours,
                             "+".join(v.failure_reasons),
                         ]

@@ -12,6 +12,9 @@ latency models those arguments run on:
 * :mod:`repro.netsim.lanes` -- sharded worker clocks
   (:class:`LaneClock`) and bounded work lanes (:class:`Lane`) for
   per-site concurrency on top of the scheduler.
+* :mod:`repro.netsim.resources` -- shared, queued resources
+  (:class:`SpindleQueue`): a FIFO service frontier several lanes can
+  block on, with busy/wait accounting for contention reports.
 * :mod:`repro.netsim.latency` -- channel models: LAN (fibre/copper +
   switches), Internet (4/9 c + routing overhead + jitter), and RF
   (speed of light) for classic distance bounding.
@@ -31,6 +34,7 @@ from repro.netsim.latency import (
     LatencyModel,
     RFChannelModel,
 )
+from repro.netsim.resources import ServiceGrant, SpindleQueue
 from repro.netsim.topology import Link, NetworkTopology, Node
 from repro.netsim.traceroute import ping, traceroute
 
@@ -39,6 +43,8 @@ __all__ = [
     "EventScheduler",
     "Lane",
     "LaneClock",
+    "ServiceGrant",
+    "SpindleQueue",
     "LatencyModel",
     "LANModel",
     "InternetModel",

@@ -43,13 +43,20 @@ class LaneClock(SimClock):
     :meth:`begin_busy`/:meth:`end_busy` bracket, while the shard is
     actually working) from idle time it merely jumps over, so
     utilization is ``busy_ms / span`` without the caller keeping its
-    own ledger.
+    own ledger.  Within a busy interval, :meth:`record_wait` further
+    splits out time the shard spent *parked on a shared resource*
+    (e.g. a :class:`~repro.netsim.resources.SpindleQueue` serving
+    several lanes): ``waiting_ms`` is the contention share of
+    ``busy_ms``, so a lane can report how much of its busy interval
+    was queue wait rather than productive work.
     """
 
     def __init__(self, name: str, start_ms: float = 0.0) -> None:
         super().__init__(start_ms)
         self.name = name
         self.busy_ms = 0.0
+        #: Share of busy time spent queued on shared resources.
+        self.waiting_ms = 0.0
         self._busy_since: float | None = None
 
     @property
@@ -72,6 +79,21 @@ class LaneClock(SimClock):
         self.advance_to(max(self.now_ms(), start_ms))
         self._busy_since = self.now_ms()
         return self._busy_since
+
+    def record_wait(self, wait_ms: float) -> None:
+        """Attribute ``wait_ms`` of the lane's time to resource waits.
+
+        Called by shared resources (via the timed service context a
+        server is bound with) as they grant queued service; the wait
+        itself still elapses on this clock through the normal
+        ``advance`` path, so this only *classifies* time, never adds
+        any.
+        """
+        if wait_ms < 0:
+            raise SimulationError(
+                f"lane {self.name!r}: wait must be >= 0, got {wait_ms}"
+            )
+        self.waiting_ms += wait_ms
 
     def end_busy(self) -> float:
         """Close the open busy interval; returns its duration in ms."""

@@ -5,18 +5,37 @@ an :class:`~repro.storage.hdd.HDDModel`, and an optional RAM cache.
 ``lookup()`` returns both the segment and the *time the lookup took* --
 the Delta-t_L component of GeoProof's round-trip budget.
 
-Design note: the server reports time rather than advancing a global
-clock so that the same server can sit behind different channels (LAN in
-the honest case, LAN + Internet relay in the attack case) whose
-protocol engines do their own time accounting.
+Design note: the server has two timing modes.
+
+* **Dedicated (default)**: the server *reports* time rather than
+  advancing any clock, so the same server can sit behind different
+  channels (LAN in the honest case, LAN + Internet relay in the attack
+  case) whose protocol engines do their own time accounting.  This is
+  the single-session shape and the paper's arithmetic: every lookup
+  costs exactly seek + rotate + transfer.
+* **Shared/queued**: with a :class:`~repro.netsim.resources.SpindleQueue`
+  attached (:meth:`attach_spindle`) *and* a requester clock bound for
+  the duration of a batch (:meth:`timed_with`), the server becomes a
+  shared resource: each lookup presents its arrival time (read off the
+  bound clock) to the spindle queue and pays ``queue wait + seek +
+  rotate + transfer``.  Several audit lanes hitting one spindle then
+  contend realistically -- the wait is reported in the
+  :class:`LookupResult`, split out by :class:`ServeWindow`, and
+  classified on the requesting lane's clock
+  (:meth:`~repro.netsim.lanes.LaneClock.record_wait`).  With a
+  dedicated spindle (one requester) the wait is identically zero and
+  the two modes report the same numbers, which is what keeps the
+  fleet's slot-vs-event equivalence anchor intact.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.crypto.rng import DeterministicRNG
 from repro.errors import BlockNotFoundError
+from repro.netsim.resources import SpindleQueue
 from repro.por.file_format import Segment
 from repro.storage.backend import ObjectStore
 from repro.storage.cache import LRUCache
@@ -30,6 +49,9 @@ class LookupResult:
     segment: Segment
     elapsed_ms: float
     cache_hit: bool
+    #: Queue wait paid on a shared spindle (0 when the spindle is
+    #: dedicated, the lookup hit RAM, or the server is unqueued).
+    wait_ms: float = 0.0
 
 
 class StorageServer:
@@ -49,6 +71,12 @@ class StorageServer:
         Randomness for stochastic lookups and queueing.
     queue_delay_ms:
         Fixed request-handling overhead per lookup (OS + controller).
+    spindle:
+        Optional :class:`~repro.netsim.resources.SpindleQueue` turning
+        the server into a shared, queued resource (see the module
+        docstring); share one queue between several servers' *sites*
+        by passing the same instance, or attach later with
+        :meth:`attach_spindle`.
     """
 
     def __init__(
@@ -59,6 +87,7 @@ class StorageServer:
         deterministic: bool = True,
         rng: DeterministicRNG | None = None,
         queue_delay_ms: float = 0.0,
+        spindle: SpindleQueue | None = None,
     ) -> None:
         self.store = ObjectStore()
         self.disk = HDDModel(disk)
@@ -66,40 +95,150 @@ class StorageServer:
         self.deterministic = deterministic
         self._rng = rng
         self.queue_delay_ms = queue_delay_ms
+        self.spindle = spindle
+        self._service_clock = None
         self.n_lookups = 0
         self.total_disk_ms = 0.0
         self.total_serve_ms = 0.0
+        self.total_wait_ms = 0.0
 
-    def lookup(self, file_id: bytes, index: int) -> LookupResult:
-        """Fetch a segment, accounting for disk or cache time."""
-        key = (file_id, index)
-        if self.cache is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                segment = Segment.from_wire(cached)[0]
-                self.n_lookups += 1
-                self.total_serve_ms += self.queue_delay_ms
-                return LookupResult(
-                    segment=segment,
-                    elapsed_ms=self.queue_delay_ms,
-                    cache_hit=True,
-                )
-        segment = self.store.get_segment(file_id, index)
-        n_bytes = segment.size_bytes
+    # -- shared-spindle mode --------------------------------------------
+
+    def attach_spindle(self, spindle: SpindleQueue) -> SpindleQueue:
+        """Put the server in shared/queued mode (see module docstring)."""
+        self.spindle = spindle
+        return spindle
+
+    @contextmanager
+    def timed_with(self, clock):
+        """Bind the requester's clock for a block of lookups::
+
+            with server.timed_with(lane.clock):
+                ... audit rounds ...
+
+        While bound, each lookup reads its spindle-queue arrival time
+        off ``clock.now_ms()`` (the protocol engine advances the clock
+        through the LAN hop before the request reaches the disk, so
+        "now" *is* the arrival time).  If the clock exposes
+        ``record_wait`` (:class:`~repro.netsim.lanes.LaneClock`), queue
+        waits are classified on it as well.  Without a bound clock the
+        server cannot know when requests arrive and serves unqueued.
+        """
+        previous = self._service_clock
+        self._service_clock = clock
+        try:
+            yield self
+        finally:
+            self._service_clock = previous
+
+    def _spindle_wait_ms(self, disk_ms: float) -> float:
+        """The queue wait for one lookup, if the shared mode is active."""
+        if self.spindle is None or self._service_clock is None:
+            return 0.0
+        grant = self.spindle.acquire(
+            self._service_clock.now_ms(), disk_ms
+        )
+        if grant.wait_ms > 0.0:
+            record = getattr(self._service_clock, "record_wait", None)
+            if record is not None:
+                record(grant.wait_ms)
+        return grant.wait_ms
+
+    # -- lookups ---------------------------------------------------------
+
+    def _cached_result(self, file_id: bytes, index: int) -> LookupResult | None:
+        """Answer from RAM (accounted), or ``None`` on a miss."""
+        if self.cache is None:
+            return None
+        cached = self.cache.get((file_id, index))
+        if cached is None:
+            return None
+        self.n_lookups += 1
+        self.total_serve_ms += self.queue_delay_ms
+        return LookupResult(
+            segment=Segment.from_wire(cached)[0],
+            elapsed_ms=self.queue_delay_ms,
+            cache_hit=True,
+        )
+
+    def _disk_ms(self, n_bytes: int) -> float:
+        """The seek + rotate + transfer cost of one media read."""
         if self.deterministic or self._rng is None:
-            disk_ms = self.disk.lookup_ms(n_bytes)
-        else:
-            disk_ms = self.disk.sample_lookup_ms(self._rng, n_bytes)
+            return self.disk.lookup_ms(n_bytes)
+        return self.disk.sample_lookup_ms(self._rng, n_bytes)
+
+    def _miss_result(
+        self, file_id: bytes, segment: Segment, disk_ms: float, wait_ms: float
+    ) -> LookupResult:
+        """Account one media read (plus any queue wait) and wrap it."""
         self.n_lookups += 1
         self.total_disk_ms += disk_ms
-        self.total_serve_ms += self.queue_delay_ms + disk_ms
+        self.total_wait_ms += wait_ms
+        self.total_serve_ms += self.queue_delay_ms + wait_ms + disk_ms
         if self.cache is not None:
-            self.cache.put(key, segment.wire_bytes())
+            self.cache.put((file_id, segment.index), segment.wire_bytes())
         return LookupResult(
             segment=segment,
-            elapsed_ms=self.queue_delay_ms + disk_ms,
+            elapsed_ms=self.queue_delay_ms + wait_ms + disk_ms,
             cache_hit=False,
+            wait_ms=wait_ms,
         )
+
+    def lookup(self, file_id: bytes, index: int) -> LookupResult:
+        """Fetch a segment, accounting for disk, queue, or cache time."""
+        hit = self._cached_result(file_id, index)
+        if hit is not None:
+            return hit
+        segment = self.store.get_segment(file_id, index)
+        disk_ms = self._disk_ms(segment.size_bytes)
+        return self._miss_result(
+            file_id, segment, disk_ms, self._spindle_wait_ms(disk_ms)
+        )
+
+    def lookup_batch(
+        self, file_id: bytes, indices: list[int]
+    ) -> list[LookupResult]:
+        """Serve a group of lookups as one spindle queue entry.
+
+        Batch-aware service for *grouped* reads -- bulk staging,
+        repair or replication traffic metered outside the per-round
+        audit path (the timed challenge phase itself stays one
+        :meth:`lookup` per round, because the protocol times each
+        round individually): in shared/queued mode the whole group
+        joins the queue *once*, so the first miss pays the
+        head-of-line wait and the rest are serviced back to back
+        (:meth:`~repro.netsim.resources.SpindleQueue.acquire_batch`).
+        Unqueued, this degenerates to the per-lookup loop.  Cache hits
+        are answered from RAM before the group is sized, exactly as
+        :meth:`lookup` would.
+        """
+        if self.spindle is None or self._service_clock is None:
+            return [self.lookup(file_id, index) for index in indices]
+        results: list[LookupResult | None] = []
+        misses: list[tuple[int, Segment, float]] = []
+        for index in indices:
+            hit = self._cached_result(file_id, index)
+            if hit is not None:
+                results.append(hit)
+                continue
+            segment = self.store.get_segment(file_id, index)
+            results.append(None)
+            misses.append(
+                (len(results) - 1, segment, self._disk_ms(segment.size_bytes))
+            )
+        if misses:
+            grants = self.spindle.acquire_batch(
+                self._service_clock.now_ms(),
+                [disk_ms for _, _, disk_ms in misses],
+            )
+            record = getattr(self._service_clock, "record_wait", None)
+            for (slot, segment, disk_ms), grant in zip(misses, grants):
+                if grant.wait_ms > 0.0 and record is not None:
+                    record(grant.wait_ms)
+                results[slot] = self._miss_result(
+                    file_id, segment, disk_ms, grant.wait_ms
+                )
+        return results  # type: ignore[return-value]
 
     def prefetch(self, file_id: bytes, indices: list[int]) -> int:
         """Pull segments into RAM ahead of time (adversary tactic).
@@ -132,13 +271,15 @@ class StorageServer:
             with server.serve_window() as window:
                 ... batched lookups ...
             spindle_busy = window.disk_ms
+            contention = window.wait_ms
 
         The deltas separate pure disk time (seek + rotate + transfer,
-        the part that serialises on one spindle) from total serve time
-        (disk plus queueing), so a scheduling lane can tell how much of
-        its busy interval was spindle contention versus LAN time --
-        batched lookups that pile onto one disk add up here even though
-        the server itself keeps no clock.
+        the part that serialises on one spindle) from queue wait (time
+        parked behind other lanes' service on a shared spindle) and
+        from total serve time (disk plus wait plus request overhead),
+        so a scheduling lane can tell how much of its busy interval
+        was spindle work, how much was contention, and how much was
+        LAN time.
         """
         return ServeWindow(self)
 
@@ -151,17 +292,20 @@ class ServeWindow:
         self.lookups = 0
         self.disk_ms = 0.0
         self.serve_ms = 0.0
+        self.wait_ms = 0.0
 
     def __enter__(self) -> "ServeWindow":
         self._mark = (
             self._server.n_lookups,
             self._server.total_disk_ms,
             self._server.total_serve_ms,
+            self._server.total_wait_ms,
         )
         return self
 
     def __exit__(self, *exc_info) -> None:
-        n, disk, serve = self._mark
+        n, disk, serve, wait = self._mark
         self.lookups = self._server.n_lookups - n
         self.disk_ms = self._server.total_disk_ms - disk
         self.serve_ms = self._server.total_serve_ms - serve
+        self.wait_ms = self._server.total_wait_ms - wait

@@ -154,3 +154,40 @@ class TestValidation:
         provider, auditor = build_deployment(replicate_to=[])
         for site in auditor.sites():
             assert site.timing_radius_km > 500.0  # ~16 ms at 4/9 c
+
+
+class TestTimingRadiusFormula:
+    """The fleet's separation filter leans on this exact arithmetic."""
+
+    def test_radius_is_one_way_internet_flight_of_the_budget(self):
+        from repro.netsim.latency import INTERNET_SPEED_KM_PER_MS
+
+        sla = SLAPolicy(region=CircularRegion(city("sydney"), 100.0))
+        verifier = VerifierDevice(
+            b"v-radius", city("sydney"), clock=SimClock()
+        )
+        site = ReplicaSite(name="sydney", verifier=verifier, sla=sla)
+        assert site.timing_radius_km == pytest.approx(
+            INTERNET_SPEED_KM_PER_MS * sla.rtt_max_ms / 2.0
+        )
+
+    def test_radius_scales_with_the_timing_budget(self):
+        verifier = VerifierDevice(
+            b"v-scale", city("sydney"), clock=SimClock()
+        )
+        tight = ReplicaSite(
+            name="tight",
+            verifier=verifier,
+            sla=SLAPolicy(region=CircularRegion(city("sydney"), 100.0)),
+        )
+        loose = ReplicaSite(
+            name="loose",
+            verifier=verifier,
+            sla=SLAPolicy(
+                region=CircularRegion(city("sydney"), 100.0),
+                margin_ms=10.0,
+            ),
+        )
+        # Every millisecond of margin is separation the filter loses:
+        # a looser budget certifies a larger (weaker) radius.
+        assert loose.timing_radius_km > tight.timing_radius_km

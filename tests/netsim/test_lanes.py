@@ -24,6 +24,44 @@ class TestLaneClock:
         clock.end_busy()
         assert clock.busy_ms == 0.0
 
+    def test_zero_length_busy_window(self):
+        """Opening and closing without working is legal and costs 0."""
+        clock = LaneClock("bne", start_ms=42.0)
+        clock.begin_busy(42.0)
+        assert clock.end_busy() == 0.0
+        assert clock.busy_ms == 0.0
+        assert clock.frontier_ms == 42.0
+        # The lane is reusable afterwards: the bracket fully closed.
+        clock.begin_busy(50.0)
+        clock.advance(3.0)
+        assert clock.end_busy() == 3.0
+        assert clock.busy_ms == 3.0
+
+    def test_begin_busy_before_frontier_opens_at_frontier(self):
+        """A shard cannot start new work in its own past."""
+        clock = LaneClock("bne")
+        clock.begin_busy(0.0)
+        clock.advance(30.0)
+        clock.end_busy()
+        opened_at = clock.begin_busy(10.0)  # before the 30 ms frontier
+        assert opened_at == 30.0
+        assert clock.now_ms() == 30.0
+        clock.end_busy()
+
+    def test_record_wait_classifies_but_never_adds_time(self):
+        clock = LaneClock("bne")
+        clock.begin_busy(0.0)
+        clock.advance(20.0)       # 5 of these 20 ms were queue wait
+        clock.record_wait(5.0)
+        clock.end_busy()
+        assert clock.busy_ms == 20.0
+        assert clock.waiting_ms == 5.0
+        assert clock.frontier_ms == 20.0
+
+    def test_record_wait_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            LaneClock("bne").record_wait(-1.0)
+
     def test_nested_busy_rejected(self):
         clock = LaneClock("bne")
         clock.begin_busy(0.0)

@@ -99,3 +99,117 @@ class TestCaching:
         for _ in range(2000):
             server.lookup(b"srv", rng.randrange(encoded.n_segments))
         assert server.cache.hit_rate < 0.2
+
+
+class TestSharedSpindleMode:
+    """The queued shared-resource mode (see the module design note)."""
+
+    def make_shared(self, keys, sample_data, n_sites=2):
+        """``n_sites`` servers sharing one spindle, one file each."""
+        from repro.netsim.resources import SpindleQueue
+
+        spindle = SpindleQueue("shared-0")
+        servers = []
+        for i in range(n_sites):
+            server = StorageServer(WD_2500JD, spindle=spindle)
+            encoded = setup_file(sample_data, keys, f"f{i}".encode(), TEST_PARAMS)
+            server.store.put_file(encoded)
+            servers.append(server)
+        return spindle, servers
+
+    def test_unbound_clock_serves_unqueued(self, keys, sample_data):
+        """Queued mode needs arrival times; without a clock, legacy."""
+        spindle, (server, _) = self.make_shared(keys, sample_data)
+        result = server.lookup(b"f0", 0)
+        assert result.wait_ms == 0.0
+        assert spindle.n_requests == 0
+
+    def test_dedicated_requester_never_waits(self, keys, sample_data):
+        from repro.netsim.clock import SimClock
+
+        spindle, (server, _) = self.make_shared(keys, sample_data)
+        clock = SimClock()
+        with server.timed_with(clock):
+            for i in range(4):
+                result = server.lookup(b"f0", i)
+                clock.advance(result.elapsed_ms)  # the protocol engine
+                assert result.wait_ms == 0.0
+        assert spindle.n_requests == 4
+        assert spindle.wait_ms == 0.0
+
+    def test_contending_requesters_queue(self, keys, sample_data):
+        """A lane behind the frontier pays the wait in elapsed_ms."""
+        from repro.netsim.clock import SimClock
+
+        spindle, (a, b) = self.make_shared(keys, sample_data)
+        fast, slow = SimClock(), SimClock()
+        with a.timed_with(fast):
+            first = a.lookup(b"f0", 0)
+            fast.advance(first.elapsed_ms)
+        with b.timed_with(slow):  # still at t=0: queues behind a
+            second = b.lookup(b"f1", 0)
+        assert second.wait_ms == pytest.approx(first.elapsed_ms)
+        assert second.elapsed_ms == pytest.approx(
+            second.wait_ms + HDDModel(WD_2500JD).lookup_ms(second.segment.size_bytes)
+        )
+        assert b.total_wait_ms == second.wait_ms
+
+    def test_wait_classified_on_lane_clock(self, keys, sample_data):
+        from repro.netsim.lanes import LaneClock
+
+        spindle, (a, b) = self.make_shared(keys, sample_data)
+        spindle.acquire(0.0, 100.0)  # preload the frontier
+        lane = LaneClock("lane")
+        with b.timed_with(lane):
+            result = b.lookup(b"f1", 0)
+        assert result.wait_ms == pytest.approx(100.0)
+        assert lane.waiting_ms == pytest.approx(100.0)
+
+    def test_serve_window_splits_wait_from_disk(self, keys, sample_data):
+        from repro.netsim.clock import SimClock
+
+        spindle, (a, b) = self.make_shared(keys, sample_data)
+        spindle.acquire(0.0, 50.0)
+        clock = SimClock()
+        with b.timed_with(clock), b.serve_window() as window:
+            b.lookup(b"f1", 0)
+        assert window.lookups == 1
+        assert window.wait_ms == pytest.approx(50.0)
+        assert window.disk_ms > 0
+        assert window.serve_ms == pytest.approx(window.wait_ms + window.disk_ms)
+
+    def test_lookup_batch_pays_one_head_of_line_wait(self, keys, sample_data):
+        from repro.netsim.clock import SimClock
+
+        spindle, (a, b) = self.make_shared(keys, sample_data)
+        spindle.acquire(0.0, 40.0)
+        clock = SimClock()
+        with b.timed_with(clock):
+            results = b.lookup_batch(b"f1", [0, 1, 2])
+        assert [r.wait_ms for r in results] == pytest.approx([40.0, 0.0, 0.0])
+        assert all(not r.cache_hit for r in results)
+        assert [r.segment.index for r in results] == [0, 1, 2]
+
+    def test_lookup_batch_unqueued_falls_back_to_loop(self, keys, sample_data):
+        server = StorageServer(WD_2500JD)
+        encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+        server.store.put_file(encoded)
+        results = server.lookup_batch(b"srv", [0, 1])
+        assert len(results) == 2
+        assert all(r.wait_ms == 0.0 for r in results)
+
+    def test_lookup_batch_answers_cache_hits_from_ram(self, keys, sample_data):
+        from repro.netsim.clock import SimClock
+        from repro.netsim.resources import SpindleQueue
+
+        server = StorageServer(
+            WD_2500JD, cache_bytes=10**6, spindle=SpindleQueue("s")
+        )
+        encoded = setup_file(sample_data, keys, b"srv", TEST_PARAMS)
+        server.store.put_file(encoded)
+        clock = SimClock()
+        with server.timed_with(clock):
+            server.lookup(b"srv", 0)
+            results = server.lookup_batch(b"srv", [0, 1])
+        assert results[0].cache_hit and results[0].wait_ms == 0.0
+        assert not results[1].cache_hit

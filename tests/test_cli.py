@@ -149,6 +149,76 @@ class TestFleet:
         assert code == 2
         assert "--lanes must be >= 1" in err
 
+    def test_json_to_stdout_is_machine_readable(self, capsys):
+        import json
+
+        code = main(
+            [
+                "fleet",
+                "--files", "6",
+                "--hours", "3",
+                "--slot-minutes", "30",
+                "--seed", "cli-test",
+                "--engine", "event",
+                "--json", "-",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)  # pure JSON: no table mixed in
+        assert payload["engine"] == "event"
+        assert payload["n_audits"] > 0
+        assert payload["lanes"] and payload["spindles"]
+        assert {"executed_at", "spindle_wait_ms"} <= set(payload["events"][0])
+
+    def test_json_to_file_keeps_the_table(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "report.json"
+        code = main(
+            [
+                "fleet",
+                "--files", "6",
+                "--hours", "3",
+                "--slot-minutes", "30",
+                "--seed", "cli-test",
+                "--json", str(target),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fleet audit run" in out  # table still printed
+        payload = json.loads(target.read_text())
+        assert payload["n_files"] == 6
+
+    def test_work_stealing_strategy_with_replicas_and_spindles(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--files", "8",
+                "--providers", "2",
+                "--hours", "4",
+                "--slot-minutes", "30",
+                "--seed", "cli-test",
+                "--engine", "event",
+                "--strategy", "work-stealing",
+                "--replicas", "2",
+                "--spindles", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "work-stealing" in out
+        assert "Storage spindles" in out
+
+    def test_bad_spindle_count_exits_2(self, capsys):
+        code = main(
+            ["fleet", "--files", "4", "--providers", "2", "--spindles", "5"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "spindles" in err
+
 
 class TestAnalyse:
     def test_paper_scale(self, capsys):
