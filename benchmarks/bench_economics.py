@@ -1,0 +1,307 @@
+"""Cache/prefetch economics: analytic-vs-simulated CI gates.
+
+Three claims the economics engine stands on, enforced as gates:
+
+1. **The closed-form LRU model is honest.**  Under uniform PRF
+   challenges the analytic hit rate ``min(c, n) / n`` must track a
+   *real* :class:`~repro.storage.cache.LRUCache` driven with the
+   verifier's exact drawing discipline, across a (cache size, file
+   size, k) grid -- both in the synthetic harness
+   (:func:`~repro.economics.cache_model.simulate_hit_rate`) and inside
+   full fleet campaign runs (the adversary's measured front-cache hit
+   rate).
+2. **Detection meets the paper bound.**  Every campaign sweep cell's
+   observed per-audit detection rate must meet the
+   ``1 - (cache/file)^k`` bound (within the documented statistical
+   slack -- see :attr:`~repro.economics.campaign.CampaignCell.bound_slack`).
+3. **Adversaries don't break the engine anchor.**  The PR 3/PR 4
+   slot-vs-event stream-equivalence anchor must still hold with a
+   prefetch-relay adversary injected: concurrency changes *when*
+   audits run, never what they detect.
+
+Runs standalone (no pytest needed) and doubles as the CI smoke bench::
+
+    python benchmarks/bench_economics.py --quick --out BENCH_economics.json
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+try:
+    from benchmarks.conftest import record_table
+except ImportError:  # running as a script from the repo root
+    def record_table(title, rendered):
+        print(f"\n{rendered}\n")
+
+try:
+    from benchmarks._gates import Gate, enforce_gates  # noqa: E402
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _gates import Gate, enforce_gates  # noqa: E402
+
+from repro.analysis.reporting import format_table  # noqa: E402
+from repro.economics import (  # noqa: E402
+    AdversaryCampaign,
+    LRUHitModel,
+    build_economics_report,
+    simulate_hit_rate,
+)
+
+#: Acceptance bar: worst |analytic - simulated| hit rate over the
+#: synthetic (cache, file, k) grid.
+MAX_SYNTHETIC_HIT_ERROR = 0.05
+
+#: Acceptance bar: worst |analytic - simulated| hit rate measured off
+#: the injected adversary's real front cache across campaign cells.
+#: Looser than the synthetic bar: campaign runs see far fewer audits
+#: per cell, and prewarm rounding adds a few entries of slack.
+MAX_CAMPAIGN_HIT_ERROR = 0.08
+
+#: The synthetic cross-validation grid: (n_segments, cache_fraction,
+#: k_rounds) cells, each simulated with enough audits for the sample
+#: mean to settle.
+SYNTHETIC_GRID = [
+    (64, 0.0, 4),
+    (64, 0.5, 4),
+    (64, 1.0, 4),
+    (256, 0.25, 6),
+    (256, 0.75, 6),
+    (512, 0.1, 8),
+    (512, 0.9, 8),
+    (1024, 0.5, 10),
+]
+
+#: Wire bytes per cached entry in the synthetic grid (the real
+#: campaign measures its own).
+ENTRY_BYTES = 30
+
+
+def synthetic_sweep(n_audits: int) -> list[dict]:
+    """Analytic vs simulated hit rate over the property grid."""
+    rows = []
+    for n_segments, fraction, k_rounds in SYNTHETIC_GRID:
+        cache_bytes = round(fraction * n_segments) * ENTRY_BYTES
+        model = LRUHitModel(
+            cache_bytes=cache_bytes,
+            entry_bytes=ENTRY_BYTES,
+            n_segments=n_segments,
+        )
+        simulated = simulate_hit_rate(
+            cache_bytes=cache_bytes,
+            entry_bytes=ENTRY_BYTES,
+            n_segments=n_segments,
+            n_audits=n_audits,
+            k_rounds=k_rounds,
+            seed=f"bench-economics-{n_segments}-{fraction}-{k_rounds}",
+        )
+        rows.append(
+            {
+                "n_segments": n_segments,
+                "cache_fraction": fraction,
+                "k_rounds": k_rounds,
+                "analytic_hit_rate": model.hit_rate,
+                "simulated_hit_rate": simulated,
+                "error": abs(model.hit_rate - simulated),
+                "detection_bound": model.paper_bound(k_rounds),
+                "detection_exact": model.detection_probability(k_rounds),
+            }
+        )
+    return rows
+
+
+def _render_synthetic(rows: list[dict]) -> str:
+    return format_table(
+        ["segments", "frac", "k", "hit (model)", "hit (sim)", "error",
+         "bound", "exact"],
+        [
+            [
+                r["n_segments"],
+                r["cache_fraction"],
+                r["k_rounds"],
+                r["analytic_hit_rate"],
+                r["simulated_hit_rate"],
+                r["error"],
+                r["detection_bound"],
+                r["detection_exact"],
+            ]
+            for r in rows
+        ],
+        title="LRU hit rate: closed form vs simulated cache "
+        "(uniform PRF challenges)",
+        decimals=4,
+    )
+
+
+def run_campaign(*, hours: float, n_files: int):
+    """The 3-site prefetch-relay campaign both gates read."""
+    campaign = AdversaryCampaign(
+        n_providers=3,
+        n_files=n_files,
+        k_rounds=6,
+        hours=hours,
+        seed="bench-economics",
+    )
+    return build_economics_report(campaign, check_equivalence=True)
+
+
+def _render_campaign(report) -> str:
+    return format_table(
+        ["engine", "frac", "hit (model)", "hit (sim)", "bound",
+         "observed", "margin", "slack", "audits", "first det (h)"],
+        [
+            [
+                cell.engine,
+                cell.cache_fraction,
+                cell.analytic_hit_rate,
+                cell.simulated_hit_rate,
+                cell.detection_bound,
+                cell.observed_detection_rate,
+                cell.bound_margin,
+                cell.bound_slack,
+                cell.victim_audits,
+                (cell.first_detection_hours
+                 if cell.first_detection_hours is not None else "-"),
+            ]
+            for cell in report.cells
+        ],
+        title="Campaign sweep: detection vs the 1 - (cache/file)^k bound",
+        decimals=4,
+    )
+
+
+def campaign_gates(report) -> list[Gate]:
+    """The campaign-side acceptance bars."""
+    worst_bound = min(
+        (
+            cell.bound_margin + cell.bound_slack
+            for cell in report.cells
+            if cell.bound_margin is not None
+        ),
+        default=1.0,
+    )
+    return [
+        Gate(
+            name="campaign hit-rate agreement",
+            measured=report.max_hit_rate_error,
+            required=MAX_CAMPAIGN_HIT_ERROR,
+            higher_is_better=False,
+            detail="|analytic - simulated| on the adversary's cache",
+        ),
+        Gate(
+            name="detection-bound margin (+slack)",
+            measured=worst_bound,
+            required=0.0,
+            detail="observed - (1 - (cache/file)^k) + statistical slack",
+        ),
+        Gate(
+            name="slot-vs-event equivalence (adversary injected)",
+            measured=1.0 if report.equivalence_ok else 0.0,
+            required=1.0,
+            detail="single-site streams identical under both engines",
+        ),
+    ]
+
+
+# -- pytest-side (runs with `pytest benchmarks/`) ------------------------
+
+def test_analytic_hit_rate_tracks_simulation(benchmark):
+    """Gate 1, pytest-side: the closed form tracks the real LRU."""
+    rows = benchmark.pedantic(
+        lambda: synthetic_sweep(400), rounds=1, iterations=1
+    )
+    record_table("economics-hit-rate", _render_synthetic(rows))
+    assert max(r["error"] for r in rows) <= MAX_SYNTHETIC_HIT_ERROR
+    # The exact (hypergeometric) detection probability dominates the
+    # paper's with-replacement bound everywhere.
+    for row in rows:
+        assert row["detection_exact"] >= row["detection_bound"] - 1e-12
+
+
+def test_campaign_meets_detection_bound(benchmark):
+    """Gates 2+3, pytest-side: measured campaign vs the paper bound."""
+    report = benchmark.pedantic(
+        lambda: run_campaign(hours=12.0, n_files=9),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("economics-campaign", _render_campaign(report))
+    assert report.bound_satisfied
+    assert report.equivalence_ok
+    assert report.max_hit_rate_error <= MAX_CAMPAIGN_HIT_ERROR
+    # Under sane prices no swept cache size leaves the attack
+    # profitable, and the spend-side break-even is tiny.
+    assert report.profitable_cache_bytes is None
+    assert 0 < report.break_even_cache_bytes < report.geometry.stored_bytes
+
+
+# -- standalone CI mode --------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cache/prefetch economics benchmark (CI gates)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller grid, shorter horizon",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_economics.json"),
+        help="where to write the JSON record "
+        "(default: ./BENCH_economics.json)",
+    )
+    args = parser.parse_args(argv)
+    n_audits, hours, n_files = (
+        (200, 12.0, 9) if args.quick else (600, 24.0, 12)
+    )
+
+    start = time.perf_counter()
+    synthetic = synthetic_sweep(n_audits)
+    print(_render_synthetic(synthetic))
+    report = run_campaign(hours=hours, n_files=n_files)
+    print(_render_campaign(report))
+    wall_s = time.perf_counter() - start
+
+    gates = [
+        Gate(
+            name="synthetic hit-rate agreement",
+            measured=max(r["error"] for r in synthetic),
+            required=MAX_SYNTHETIC_HIT_ERROR,
+            higher_is_better=False,
+            detail=f"worst cell of {len(synthetic)}, "
+            f"{n_audits} audits each",
+        ),
+        *campaign_gates(report),
+    ]
+
+    record = {
+        "bench": "economics",
+        "scenario": {
+            "n_providers": 3,
+            "n_files": n_files,
+            "hours": hours,
+            "attack": "prefetch-relay",
+            "synthetic_audits": n_audits,
+        },
+        "max_synthetic_hit_error": MAX_SYNTHETIC_HIT_ERROR,
+        "max_campaign_hit_error": MAX_CAMPAIGN_HIT_ERROR,
+        "wall_seconds": wall_s,
+        "synthetic_rows": synthetic,
+        "report": report.to_dict(),
+        "gates": [gate.as_dict() for gate in gates],
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    return enforce_gates(gates, bench="bench_economics")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

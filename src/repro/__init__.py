@@ -29,6 +29,12 @@ Package layout (see DESIGN.md for the full inventory):
   (:class:`~repro.fleet.strategies.AuditStrategy` contract), per-data-
   centre challenge batching, aggregated
   :class:`~repro.fleet.report.FleetReport` compliance reporting.
+* :mod:`repro.economics` -- adversarial cache/prefetch economics:
+  closed-form LRU hit rates under uniform challenges
+  (:class:`~repro.economics.cache_model.LRUHitModel`), fleet-level
+  attack campaigns (:class:`~repro.economics.campaign.AdversaryCampaign`),
+  attacker ROI and per-tenant defence pricing against a shared
+  :class:`~repro.economics.costs.CostModel`.
 * :mod:`repro.por` -- proofs of storage: the Juels-Kaliski pipeline,
   MAC-POR, sentinel-POR, dynamic POR, detection analysis.
 * :mod:`repro.distbound` -- classic distance-bounding protocols and
@@ -64,6 +70,15 @@ from repro.core.messages import AuditRequest, SignedTranscript, TimedRound
 from repro.core.session import GeoProofSession
 from repro.core.verification import GeoProofVerdict, verify_transcript
 from repro.crypto.rng import DeterministicRNG
+from repro.economics import (
+    AdversaryCampaign,
+    CostModel,
+    EconomicsReport,
+    LRUHitModel,
+    TenantQuote,
+    build_economics_report,
+    price_tenant,
+)
 from repro.errors import ReproError, VerificationError
 from repro.fleet import (
     AuditFleet,
@@ -112,6 +127,14 @@ __all__ = [
     "RoundRobinStrategy",
     "RiskWeightedStrategy",
     "DeadlineStrategy",
+    # economics
+    "CostModel",
+    "LRUHitModel",
+    "AdversaryCampaign",
+    "EconomicsReport",
+    "TenantQuote",
+    "build_economics_report",
+    "price_tenant",
     # adversaries
     "RelayAttack",
     "PrefetchRelayAttack",

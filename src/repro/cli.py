@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli fleet --engine event --lanes 4
     python -m repro.cli fleet --engine event --replicas 2 --spindles 1 \
         --strategy work-stealing --json -
+    python -m repro.cli economics --attack prefetch-relay --json -
+    python -m repro.cli economics --cache-fractions 0 0.5 1 --engine event
 
 Each subcommand prints the same rows the benchmarks assert on, so the
 CLI is a thin, scriptable window onto :mod:`repro.analysis.experiments`.
@@ -216,6 +218,55 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_economics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.economics import AdversaryCampaign, build_economics_report
+    from repro.errors import ConfigurationError
+
+    engines = (
+        ("slot", "event") if args.engine == "both" else (args.engine,)
+    )
+    try:
+        campaign = AdversaryCampaign(
+            attack=args.attack,
+            n_providers=args.providers,
+            n_files=args.files,
+            k_rounds=args.rounds,
+            hours=args.hours,
+            seed=args.seed,
+            delete_fraction=args.delete_fraction,
+        )
+        report = build_economics_report(
+            campaign,
+            engines=engines,
+            cache_fractions=(
+                tuple(args.cache_fractions)
+                if args.cache_fractions is not None
+                else None
+            ),
+            check_equivalence=not args.skip_equivalence,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The exit code is the acceptance check itself: observed detection
+    # must meet the 1 - (cache/file)^k bound in every sweep cell, and
+    # (unless skipped) the slot-vs-event streams must stay equivalent
+    # with the adversary injected.
+    ok = report.bound_satisfied and report.equivalence_ok is not False
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+            return 0 if ok else 1
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.json}")
+    print(report.render())
+    return 0 if ok else 1
+
+
 def _cmd_analyse(args: argparse.Namespace) -> int:
     from repro.analysis.security import analyse_deployment
     from repro.cloud.sla import SLAPolicy
@@ -339,6 +390,53 @@ def build_parser() -> argparse.ArgumentParser:
         "to PATH, or to stdout with '-' (suppresses the table)",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    from repro.economics.campaign import ATTACKS
+
+    economics = subparsers.add_parser(
+        "economics",
+        help="adversarial cache/prefetch economics: sweep an injected "
+        "attack's cache size, measure detection, price defences",
+    )
+    economics.add_argument("--files", type=int, default=12)
+    economics.add_argument("--providers", type=int, default=3)
+    economics.add_argument(
+        "--attack", choices=sorted(ATTACKS), default="prefetch-relay"
+    )
+    economics.add_argument("--rounds", type=int, default=6)
+    economics.add_argument("--hours", type=float, default=24.0)
+    economics.add_argument("--seed", default="economics-cli")
+    economics.add_argument("--delete-fraction", type=float, default=0.10)
+    economics.add_argument(
+        "--cache-fractions",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="FRAC",
+        help="cache sizes to sweep, as fractions of the victim's "
+        "segment population (default: 0 0.25 0.5 0.75 1)",
+    )
+    # Validated by the fleet itself (ConfigurationError -> exit 2),
+    # matching the fleet subcommand's error path.
+    economics.add_argument(
+        "--engine",
+        default="both",
+        help="run loop(s) to sweep: 'slot', 'event' or 'both'",
+    )
+    economics.add_argument(
+        "--skip-equivalence",
+        action="store_true",
+        help="skip the single-site slot-vs-event stream anchor "
+        "(two extra fleet runs)",
+    )
+    economics.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="dump the EconomicsReport (cells, ROI curves, quotes) as "
+        "JSON to PATH, or to stdout with '-' (suppresses the table)",
+    )
+    economics.set_defaults(func=_cmd_economics)
 
     analyse = subparsers.add_parser(
         "analyse", help="closed-form security analysis for a deployment"

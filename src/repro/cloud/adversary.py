@@ -59,6 +59,11 @@ class RelayAttack:
         self.remote_name = remote_name
         self.forwarding_overhead_ms = forwarding_overhead_ms
         self._rng = rng
+        #: Wire bytes moved remote -> front by forwarded requests.  The
+        #: relay's Internet traffic is part of the attack's *cost* (the
+        #: economics engine prices it via a CostModel), so it is
+        #: metered here rather than assumed free.
+        self.relayed_bytes = 0
 
     def handle_request(
         self, provider: CloudProvider, file_id: bytes, index: int
@@ -69,6 +74,7 @@ class RelayAttack:
         distance = haversine_km(front.location, remote.location)
         flight_ms = provider.internet.rtt_ms(distance, rng=self._rng)
         remote_result = remote.serve(file_id, index)
+        self.relayed_bytes += len(remote_result.segment.wire_bytes())
         return ServeResult(
             segment=remote_result.segment,
             elapsed_ms=self.forwarding_overhead_ms
@@ -108,18 +114,64 @@ class PrefetchRelayAttack(RelayAttack):
         )
         self.cache = LRUCache(cache_bytes)
         self.cache_hit_ms = cache_hit_ms
+        #: Wire bytes pulled remote -> front by :meth:`prewarm`.
+        self.prewarmed_bytes = 0
+        #: Accumulated prewarm bandwidth spend (0 until a cost model
+        #: is passed to :meth:`prewarm`).
+        self.prewarm_cost_usd = 0.0
 
     def prewarm(
-        self, provider: CloudProvider, file_id: bytes, indices: list[int]
+        self,
+        provider: CloudProvider,
+        file_id: bytes,
+        indices: list[int],
+        *,
+        cost_model=None,
     ) -> int:
-        """Pull segments into the front cache before the audit (free)."""
+        """Pull segments into the front cache before the audit.
+
+        Warming is *metered*, not free: every segment is read through
+        the remote site's :class:`~repro.storage.server.StorageServer`
+        (so its disk/spindle accounting sees the staging traffic) and
+        the wire bytes moved are accumulated in
+        :attr:`prewarmed_bytes`.  ``cost_model`` -- any object with a
+        ``bandwidth_usd(n_bytes)`` method, canonically a
+        :class:`repro.economics.costs.CostModel` -- additionally prices
+        the transfer into :attr:`prewarm_cost_usd`.  Returns the number
+        of segments warmed.
+        """
         remote = provider.datacentre(self.remote_name)
         warmed = 0
+        moved = 0
         for index in indices:
-            segment = remote.server.store.get_segment(file_id, index)
-            self.cache.put((file_id, index), segment.wire_bytes())
+            wire = remote.server.lookup(file_id, index).segment.wire_bytes()
+            self.cache.put((file_id, index), wire)
+            moved += len(wire)
             warmed += 1
+        self.prewarmed_bytes += moved
+        if cost_model is not None:
+            self.prewarm_cost_usd += cost_model.bandwidth_usd(moved)
         return warmed
+
+    def cache_stats(self) -> dict:
+        """The front cache's observable state, for economics reporting.
+
+        Hit/miss counters span everything the cache served (audit
+        rounds and prewarm refreshes alike); ``hit_rate`` is what the
+        closed-form model in :mod:`repro.economics.cache_model` must
+        track.
+        """
+        return {
+            "capacity_bytes": self.cache.capacity_bytes,
+            "used_bytes": self.cache.used_bytes,
+            "n_entries": self.cache.n_entries,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "hit_rate": self.cache.hit_rate,
+            "prewarmed_bytes": self.prewarmed_bytes,
+            "relayed_bytes": self.relayed_bytes,
+            "prewarm_cost_usd": self.prewarm_cost_usd,
+        }
 
     def handle_request(
         self, provider: CloudProvider, file_id: bytes, index: int

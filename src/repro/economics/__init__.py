@@ -1,0 +1,75 @@
+"""Adversarial cache/prefetch economics: from attack physics to money.
+
+GeoProof's defence against a relaying provider is challenge
+unpredictability: a front-site RAM cache only beats the disk+flight
+term when a PRF-drawn index hits it, so the attack's viability is an
+*economic* question -- RAM spend vs expected hit rate vs detection
+risk.  This package closes that loop over the fleet stack:
+
+* :mod:`repro.economics.costs` -- :class:`CostModel`, the shared USD
+  price list (storage/RAM per GB-month, bandwidth per GB, per-audit
+  overhead, violation penalty).
+* :mod:`repro.economics.cache_model` -- :class:`LRUHitModel`,
+  closed-form LRU hit rates under uniform PRF challenges (prewarm,
+  cold start, multi-file tenants, exact escape probability, the
+  paper's ``1 - (cache/file)^k`` bound), cross-validated against the
+  simulated :class:`~repro.storage.cache.LRUCache` by
+  :func:`~repro.economics.cache_model.simulate_hit_rate`.
+* :mod:`repro.economics.pricing` -- the attacker's ledger
+  (:func:`~repro.economics.pricing.attack_economics`) and the
+  defender's answer (:func:`~repro.economics.pricing.price_tenant`:
+  the minimum audit rate that drives attacker ROI negative, the
+  verifier-side cost of sustaining it, and the timing-radius margin
+  auditing cannot close).
+* :mod:`repro.economics.campaign` -- :class:`AdversaryCampaign`,
+  measured fleet-level attack campaigns: inject
+  prefetch-relay/relay/deletion strategies into seeded
+  :class:`~repro.fleet.fleet.AuditFleet` runs and sweep cache sizes
+  across both run engines.
+* :mod:`repro.economics.report` -- :class:`EconomicsReport`
+  (:func:`~repro.economics.report.build_economics_report`): ROI
+  curves, break-even cache size, detection-latency-vs-cache tables,
+  per-tenant quotes, JSON export (the ``economics`` CLI subcommand).
+"""
+
+from repro.economics.cache_model import LRUHitModel, simulate_hit_rate
+from repro.economics.campaign import (
+    ATTACKS,
+    AdversaryCampaign,
+    CampaignCell,
+    VictimGeometry,
+)
+from repro.economics.costs import (
+    BYTES_PER_GB,
+    DEFAULT_COST_MODEL,
+    HOURS_PER_MONTH,
+    CostModel,
+)
+from repro.economics.pricing import (
+    AttackEconomics,
+    TenantQuote,
+    attack_economics,
+    min_deterrent_audit_rate,
+    price_tenant,
+)
+from repro.economics.report import EconomicsReport, build_economics_report
+
+__all__ = [
+    "ATTACKS",
+    "AdversaryCampaign",
+    "AttackEconomics",
+    "BYTES_PER_GB",
+    "CampaignCell",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "EconomicsReport",
+    "HOURS_PER_MONTH",
+    "LRUHitModel",
+    "TenantQuote",
+    "VictimGeometry",
+    "attack_economics",
+    "build_economics_report",
+    "min_deterrent_audit_rate",
+    "price_tenant",
+    "simulate_hit_rate",
+]

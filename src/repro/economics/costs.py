@@ -1,0 +1,183 @@
+"""The price list: what storage, RAM, bandwidth and audits cost.
+
+GeoProof's defence against a relaying provider is *economic*: a RAM
+cache at the front site only beats the disk+flight term when a
+PRF-drawn index hits it, so whether the attack is worth mounting is a
+question of dollars -- RAM spend vs storage savings vs detection risk.
+A :class:`CostModel` is the shared price list both sides of that
+argument use: the attacker's ledger (cheap remote storage + front RAM
++ relay bandwidth, priced in :func:`repro.economics.pricing.attack_economics`)
+and the defender's (per-audit verifier overhead + challenge traffic,
+priced into :class:`repro.economics.pricing.TenantQuote`).
+
+Prices are in USD per *decimal* GB (the cloud-billing convention).
+The defaults are deliberately round, commodity-cloud shaped numbers --
+premium-region disk a little over 2 cents/GB-month, a cheap region at
+1 cent, RAM two orders of magnitude above disk -- chosen so the
+qualitative story (RAM is far more expensive than the storage delta it
+would hide) matches any real price sheet; swap in your own contract
+numbers for absolute answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+#: Decimal gigabyte, the unit cloud price sheets bill in.
+BYTES_PER_GB = 1_000_000_000
+
+#: Billing month in hours (the 730-hour cloud convention).
+HOURS_PER_MONTH = 730.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """USD prices for every resource the attack and defence consume.
+
+    Attributes
+    ----------
+    storage_usd_per_gb_month:
+        Disk at the *contracted* (premium) site -- what honest storage
+        costs the provider.
+    remote_storage_usd_per_gb_month:
+        Disk at the cheap remote site a relayer would actually keep
+        the data on; the attack's savings rate is the difference.
+    ram_usd_per_gb_month:
+        RAM at the front site -- the cache the relayer warms to beat
+        the timing bound.
+    bandwidth_usd_per_gb:
+        Inter-site transfer (prewarm staging and per-miss relay
+        traffic both pay it).
+    audit_overhead_usd:
+        Verifier-side fixed cost per audit (appliance time, TPA
+        processing), before challenge traffic.
+    violation_penalty_usd:
+        What the provider loses per tenant when a violation is
+        detected (contract penalty / lost contract value).
+    """
+
+    storage_usd_per_gb_month: float = 0.023
+    remote_storage_usd_per_gb_month: float = 0.010
+    ram_usd_per_gb_month: float = 2.50
+    bandwidth_usd_per_gb: float = 0.08
+    audit_overhead_usd: float = 0.0005
+    violation_penalty_usd: float = 25.0
+
+    def __post_init__(self) -> None:
+        check_positive(
+            "storage_usd_per_gb_month",
+            self.storage_usd_per_gb_month,
+            strict=False,
+        )
+        check_positive(
+            "remote_storage_usd_per_gb_month",
+            self.remote_storage_usd_per_gb_month,
+            strict=False,
+        )
+        check_positive(
+            "ram_usd_per_gb_month", self.ram_usd_per_gb_month, strict=False
+        )
+        check_positive(
+            "bandwidth_usd_per_gb", self.bandwidth_usd_per_gb, strict=False
+        )
+        check_positive(
+            "audit_overhead_usd", self.audit_overhead_usd, strict=False
+        )
+        check_positive(
+            "violation_penalty_usd",
+            self.violation_penalty_usd,
+            strict=False,
+        )
+
+    # -- resource pricing -----------------------------------------------
+
+    def storage_usd(self, n_bytes: int, months: float = 1.0) -> float:
+        """Contracted-site disk spend for ``n_bytes`` over ``months``."""
+        return (
+            n_bytes / BYTES_PER_GB * self.storage_usd_per_gb_month * months
+        )
+
+    def remote_storage_usd(self, n_bytes: int, months: float = 1.0) -> float:
+        """Cheap-remote-site disk spend for ``n_bytes`` over ``months``."""
+        return (
+            n_bytes
+            / BYTES_PER_GB
+            * self.remote_storage_usd_per_gb_month
+            * months
+        )
+
+    def ram_usd(self, n_bytes: int, months: float = 1.0) -> float:
+        """Front-site RAM spend for an ``n_bytes`` cache over ``months``."""
+        return n_bytes / BYTES_PER_GB * self.ram_usd_per_gb_month * months
+
+    def bandwidth_usd(self, n_bytes: float) -> float:
+        """Inter-site transfer spend for ``n_bytes`` moved."""
+        return n_bytes / BYTES_PER_GB * self.bandwidth_usd_per_gb
+
+    def relay_savings_usd(self, n_bytes: int, months: float = 1.0) -> float:
+        """What quietly relocating ``n_bytes`` saves over ``months``.
+
+        The premium-vs-cheap storage delta -- the whole reason the
+        relay attack exists.  Negative when the "cheap" site is in
+        fact dearer (then the attack never pays and every defence
+        price is zero).
+        """
+        return self.storage_usd(n_bytes, months) - self.remote_storage_usd(
+            n_bytes, months
+        )
+
+    def audit_usd(
+        self, n_audits: float, k_rounds: int, segment_bytes: int
+    ) -> float:
+        """Verifier-side cost of ``n_audits`` audits of ``k_rounds`` each.
+
+        Fixed per-audit overhead plus the challenge traffic: ``k``
+        segments of ``segment_bytes`` cross the LAN/WAN per audit.
+        """
+        traffic = self.bandwidth_usd(n_audits * k_rounds * segment_bytes)
+        return n_audits * self.audit_overhead_usd + traffic
+
+    def break_even_cache_bytes(self, file_bytes: int) -> int:
+        """The cache size at which RAM spend eats the relay savings.
+
+        A relayer caching ``c`` bytes pays ``ram(c)`` per month against
+        a savings rate of ``relay_savings(file_bytes)``; the spend-side
+        break-even is ``c* = file_bytes * (storage - remote) / ram``.
+        Beyond it the cache costs more than the relocation saves, so
+        ``c*`` caps how much hit rate a *rational* attacker buys --
+        with RAM two orders of magnitude above the storage delta, that
+        is a ~1 % cache and a ~1 % hit rate, which k rounds drive to a
+        ~100 % per-audit detection probability.
+        """
+        check_positive("file_bytes", file_bytes)
+        if self.ram_usd_per_gb_month <= 0.0:
+            return file_bytes  # free RAM: the cap is the file itself
+        delta = (
+            self.storage_usd_per_gb_month
+            - self.remote_storage_usd_per_gb_month
+        )
+        if delta <= 0.0:
+            return 0  # relocation saves nothing: no rational cache
+        return min(
+            file_bytes,
+            round(file_bytes * delta / self.ram_usd_per_gb_month),
+        )
+
+    def to_dict(self) -> dict:
+        """The price list as JSON-serialisable plain data."""
+        return {
+            "storage_usd_per_gb_month": self.storage_usd_per_gb_month,
+            "remote_storage_usd_per_gb_month": (
+                self.remote_storage_usd_per_gb_month
+            ),
+            "ram_usd_per_gb_month": self.ram_usd_per_gb_month,
+            "bandwidth_usd_per_gb": self.bandwidth_usd_per_gb,
+            "audit_overhead_usd": self.audit_overhead_usd,
+            "violation_penalty_usd": self.violation_penalty_usd,
+        }
+
+
+#: The reference price list used by the CLI, bench and example.
+DEFAULT_COST_MODEL = CostModel()

@@ -205,6 +205,10 @@ class AuditFleet:
         self._deployments: dict[str, ProviderDeployment] = {}
         self._tasks: dict[tuple[str, bytes], AuditTask] = {}
         self._records: dict[tuple[str, bytes], OutsourcedFile] = {}
+        #: Injected misbehaviour, provider name -> strategy class name
+        #: (surfaced in every report so economics runs are self-
+        #: describing).
+        self._adversaries: dict[str, str] = {}
         #: Replica placements: (provider, file_id) -> {site: ReplicaSite}.
         self._replica_sites: dict[
             tuple[str, bytes], dict[str, ReplicaSite]
@@ -510,6 +514,43 @@ class AuditFleet:
         for site in self._replica_sites.get((provider, file_id), {}).values():
             auditor.add_site(site)
         return auditor
+
+    def inject_adversary(
+        self,
+        provider: str,
+        strategy,
+        *,
+        relocate_to: str | None = None,
+    ) -> None:
+        """Install adversarial serving on a registered provider.
+
+        The hook the adversarial-economics campaigns
+        (:class:`repro.economics.campaign.AdversaryCampaign`) drive:
+        ``strategy`` is any :mod:`repro.cloud.adversary` serving
+        strategy; ``relocate_to`` first *physically moves* every file
+        registered with the provider to that (already onboarded) data
+        centre -- the quiet-relocation half of a relay attack, after
+        which the installed strategy decides how requests for the
+        moved data are answered.  The injection is recorded and
+        surfaced as :attr:`FleetReport.adversaries`, so every report
+        names the misbehaviour it was produced under.
+
+        Pass ``strategy=None`` to restore honest serving (the record
+        of the provider's past injection is kept).
+        """
+        deployment = self.deployment(provider)
+        if relocate_to is not None:
+            deployment.provider.datacentre(relocate_to)  # fail fast
+            for task in self.tasks():
+                if task.provider_name == provider:
+                    deployment.provider.relocate(task.file_id, relocate_to)
+        deployment.provider.set_strategy(strategy)
+        if strategy is not None:
+            self._adversaries[provider] = type(strategy).__name__
+
+    def adversaries(self) -> dict[str, str]:
+        """Injected adversaries: provider name -> strategy class name."""
+        return dict(self._adversaries)
 
     def record(self, provider: str, file_id: bytes) -> OutsourcedFile:
         """The client-side record of a registered file."""
@@ -928,12 +969,23 @@ class AuditFleet:
                 breakdown["accepted"] += 1
             for reason in event.failure_reasons:
                 breakdown[reason] = breakdown.get(reason, 0) + 1
+        # Per-tenant detection latency: the earliest violation caught
+        # on any of the tenant's files (None = nothing detected).  The
+        # economics engine prices each tenant's defence off this.
+        tenant_detection: dict[str, float] = {}
+        for violation in detected.values():
+            previous = tenant_detection.get(violation.tenant)
+            if previous is None or violation.detected_at_hours < previous:
+                tenant_detection[violation.tenant] = (
+                    violation.detected_at_hours
+                )
         summaries = tuple(
             TenantSummary(
                 tenant=tenant,
                 n_files=len(tenant_files[tenant]),
                 n_audits=counts["audits"],
                 n_accepted=counts["accepted"],
+                first_detection_hours=tenant_detection.get(tenant),
             )
             for tenant, counts in sorted(tenants.items())
         )
@@ -961,6 +1013,7 @@ class AuditFleet:
             engine=engine,
             lanes=lanes,
             spindles=spindles,
+            adversaries=tuple(sorted(self._adversaries.items())),
         )
 
 

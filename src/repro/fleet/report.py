@@ -166,6 +166,11 @@ class TenantSummary:
     n_files: int
     n_audits: int
     n_accepted: int
+    #: Earliest violation detection on any of the tenant's files, in
+    #: simulated hours since fleet start (None = nothing detected).
+    #: This is the per-tenant detection latency the economics engine
+    #: prices defences off.
+    first_detection_hours: float | None = None
 
     @property
     def acceptance_rate(self) -> float:
@@ -209,6 +214,11 @@ class FleetReport:
     lanes: tuple[LaneStats, ...] = ()
     #: Per-spindle contention accounting, in provider/spindle order.
     spindles: tuple[SpindleStats, ...] = ()
+    #: Adversaries injected via
+    #: :meth:`~repro.fleet.fleet.AuditFleet.inject_adversary`, as
+    #: sorted ``(provider, strategy class name)`` pairs -- every report
+    #: names the misbehaviour it ran under.
+    adversaries: tuple[tuple[str, str], ...] = ()
 
     @property
     def n_audits(self) -> int:
@@ -342,6 +352,10 @@ class FleetReport:
             "verdict_breakdown": {
                 label: count for label, count in self.verdict_breakdown
             },
+            "adversaries": {
+                provider: strategy
+                for provider, strategy in self.adversaries
+            },
             "tenants": [
                 {
                     "tenant": t.tenant,
@@ -349,6 +363,7 @@ class FleetReport:
                     "n_audits": t.n_audits,
                     "n_accepted": t.n_accepted,
                     "acceptance_rate": t.acceptance_rate,
+                    "first_detection_hours": t.first_detection_hours,
                 }
                 for t in self.tenants
             ],
@@ -440,10 +455,14 @@ class FleetReport:
                 decimals=3,
             ),
             format_table(
-                ["tenant", "files", "audits", "accepted", "rate"],
+                ["tenant", "files", "audits", "accepted", "rate",
+                 "detected (h)"],
                 [
                     [t.tenant, t.n_files, t.n_audits, t.n_accepted,
-                     t.acceptance_rate]
+                     t.acceptance_rate,
+                     (t.first_detection_hours
+                      if t.first_detection_hours is not None
+                      else "-")]
                     for t in self.tenants
                 ],
                 title="Per-tenant acceptance",
@@ -510,6 +529,14 @@ class FleetReport:
                         f"{self.n_shed_slots} shed slots)"
                     ),
                     decimals=3,
+                )
+            )
+        if self.adversaries:
+            sections.append(
+                "Injected adversaries: "
+                + ", ".join(
+                    f"{provider} ({strategy})"
+                    for provider, strategy in self.adversaries
                 )
             )
         if self.violations:

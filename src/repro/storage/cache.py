@@ -58,13 +58,15 @@ class LRUCache:
     def put(self, key: object, value: bytes) -> None:
         """Insert/refresh an entry, evicting LRU entries to fit.
 
-        Objects larger than the whole capacity are simply not cached.
+        Objects larger than the whole capacity are simply not cached --
+        but the key's *previous* entry is still evicted, so a rejected
+        put can never leave stale data to be served by the next ``get``.
         """
-        if len(value) > self.capacity_bytes:
-            return
         old = self._entries.pop(key, None)
         if old is not None:
             self._used_bytes -= len(old)
+        if len(value) > self.capacity_bytes:
+            return
         while self._used_bytes + len(value) > self.capacity_bytes and self._entries:
             _, evicted = self._entries.popitem(last=False)
             self._used_bytes -= len(evicted)

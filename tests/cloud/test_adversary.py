@@ -88,6 +88,54 @@ class TestPrefetchRelayAttack:
         # P(all 20 challenges in cached half) = 2^-20.
         assert not outcome.verdict.accepted
 
+    def test_prewarm_is_metered_through_the_server(self):
+        """Warming pays remote disk accounting and counts its bytes."""
+        session, file_id, _ = build_session("prefetch-meter")
+        add_remote(session)
+        session.provider.relocate(file_id, "remote")
+        remote = session.provider.datacentre("remote")
+        n = session.files[file_id].n_segments
+        lookups_before = remote.server.n_lookups
+        disk_before = remote.server.total_disk_ms
+        attack = PrefetchRelayAttack("home", "remote", cache_bytes=10**9)
+        warmed = attack.prewarm(session.provider, file_id, list(range(n)))
+        assert warmed == n
+        assert remote.server.n_lookups == lookups_before + n
+        assert remote.server.total_disk_ms > disk_before
+        assert attack.prewarmed_bytes > 0
+        stats = attack.cache_stats()
+        assert stats["prewarmed_bytes"] == attack.prewarmed_bytes
+        assert stats["n_entries"] == n
+        assert stats["prewarm_cost_usd"] == 0.0  # no cost model passed
+
+    def test_prewarm_priced_by_cost_model(self):
+        class PerByte:
+            def bandwidth_usd(self, n_bytes):
+                return n_bytes * 2.0
+
+        session, file_id, _ = build_session("prefetch-priced")
+        add_remote(session)
+        session.provider.relocate(file_id, "remote")
+        attack = PrefetchRelayAttack("home", "remote", cache_bytes=10**9)
+        attack.prewarm(
+            session.provider, file_id, [0, 1, 2], cost_model=PerByte()
+        )
+        assert attack.prewarm_cost_usd == pytest.approx(
+            attack.prewarmed_bytes * 2.0
+        )
+
+    def test_relayed_bytes_metered_on_misses_only(self):
+        session, file_id, _ = build_session("prefetch-relay-bytes")
+        add_remote(session)
+        session.provider.relocate(file_id, "remote")
+        attack = PrefetchRelayAttack("home", "remote", cache_bytes=10**9)
+        assert attack.relayed_bytes == 0
+        attack.handle_request(session.provider, file_id, 3)  # miss: relayed
+        moved = attack.relayed_bytes
+        assert moved > 0
+        attack.handle_request(session.provider, file_id, 3)  # hit: local
+        assert attack.relayed_bytes == moved
+
     def test_cache_learns_from_traffic(self):
         session, file_id, _ = build_session("prefetch-learn")
         add_remote(session)

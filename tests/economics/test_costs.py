@@ -1,0 +1,102 @@
+"""CostModel: validation, resource pricing, break-even algebra."""
+
+import pytest
+
+from repro.economics.costs import BYTES_PER_GB, CostModel
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        model = CostModel()
+        assert model.storage_usd_per_gb_month > 0
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "storage_usd_per_gb_month",
+            "remote_storage_usd_per_gb_month",
+            "ram_usd_per_gb_month",
+            "bandwidth_usd_per_gb",
+            "audit_overhead_usd",
+            "violation_penalty_usd",
+        ],
+    )
+    def test_negative_prices_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            CostModel(**{field: -0.01})
+
+    def test_zero_prices_allowed(self):
+        # Free resources are legitimate modelling inputs (e.g. an
+        # attacker with sunk RAM).
+        CostModel(ram_usd_per_gb_month=0.0)
+
+
+class TestPricing:
+    def test_storage_scales_linearly(self):
+        model = CostModel(storage_usd_per_gb_month=0.02)
+        assert model.storage_usd(BYTES_PER_GB) == pytest.approx(0.02)
+        assert model.storage_usd(BYTES_PER_GB, months=3.0) == pytest.approx(
+            0.06
+        )
+        assert model.storage_usd(BYTES_PER_GB // 2) == pytest.approx(0.01)
+
+    def test_relay_savings_is_the_storage_delta(self):
+        model = CostModel(
+            storage_usd_per_gb_month=0.03,
+            remote_storage_usd_per_gb_month=0.01,
+        )
+        assert model.relay_savings_usd(BYTES_PER_GB) == pytest.approx(0.02)
+
+    def test_relay_savings_negative_when_remote_dearer(self):
+        model = CostModel(
+            storage_usd_per_gb_month=0.01,
+            remote_storage_usd_per_gb_month=0.03,
+        )
+        assert model.relay_savings_usd(BYTES_PER_GB) < 0
+
+    def test_audit_usd_overhead_plus_traffic(self):
+        model = CostModel(
+            audit_overhead_usd=0.001, bandwidth_usd_per_gb=1.0
+        )
+        # 10 audits x 5 rounds x 1000 bytes = 50 kB of traffic.
+        cost = model.audit_usd(10, 5, 1000)
+        assert cost == pytest.approx(0.01 + 50_000 / BYTES_PER_GB)
+
+    def test_to_dict_round_trips(self):
+        model = CostModel()
+        assert CostModel(**model.to_dict()) == model
+
+
+class TestBreakEven:
+    def test_break_even_formula(self):
+        model = CostModel(
+            storage_usd_per_gb_month=0.03,
+            remote_storage_usd_per_gb_month=0.01,
+            ram_usd_per_gb_month=2.0,
+        )
+        # c* = file * delta / ram = file * 0.02 / 2.0 = 1% of the file.
+        assert model.break_even_cache_bytes(1_000_000) == 10_000
+
+    def test_break_even_capped_at_file_size(self):
+        cheap_ram = CostModel(
+            storage_usd_per_gb_month=0.03,
+            remote_storage_usd_per_gb_month=0.01,
+            ram_usd_per_gb_month=0.001,
+        )
+        assert cheap_ram.break_even_cache_bytes(1_000_000) == 1_000_000
+
+    def test_free_ram_break_even_is_the_file(self):
+        model = CostModel(ram_usd_per_gb_month=0.0)
+        assert model.break_even_cache_bytes(500) == 500
+
+    def test_no_savings_no_rational_cache(self):
+        model = CostModel(
+            storage_usd_per_gb_month=0.01,
+            remote_storage_usd_per_gb_month=0.01,
+        )
+        assert model.break_even_cache_bytes(1_000_000) == 0
+
+    def test_rejects_nonpositive_file(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().break_even_cache_bytes(0)

@@ -218,6 +218,62 @@ class TestKeyIndependence:
         )
 
 
+class TestInjectAdversary:
+    """The economics hook: install, relocate, record, restore."""
+
+    def build(self):
+        fleet = AuditFleet(seed="inject", slot_minutes=30.0)
+        fleet.add_provider("p", [("bne", city("brisbane"))])
+        register_files(fleet, "t", "p", "bne", 2)
+        return fleet
+
+    def test_unknown_provider_rejected(self):
+        fleet = self.build()
+        with pytest.raises(ConfigurationError):
+            fleet.inject_adversary("ghost", RelayAttack("bne", "syd"))
+
+    def test_unknown_relocation_site_fails_fast(self):
+        fleet = self.build()
+        with pytest.raises(ConfigurationError):
+            fleet.inject_adversary(
+                "p", RelayAttack("bne", "syd"), relocate_to="syd"
+            )
+
+    def test_relocates_installs_and_records(self):
+        fleet = self.build()
+        provider = fleet.provider("p")
+        provider.add_datacentre(
+            DataCentre("syd", city("sydney"), disk=IBM_36Z15)
+        )
+        strategy = RelayAttack("bne", "syd")
+        fleet.inject_adversary("p", strategy, relocate_to="syd")
+        assert provider.strategy is strategy
+        assert fleet.adversaries() == {"p": "RelayAttack"}
+        for task in fleet.tasks():
+            assert provider.home_of(task.file_id).name == "syd"
+        report = fleet.run(hours=3.0)
+        assert report.adversaries == (("p", "RelayAttack"),)
+        assert report.acceptance_rate == 0.0
+        # Per-tenant detection latency surfaced on the summary row.
+        assert (
+            report.tenant_summary("t").first_detection_hours
+            == report.first_detection_hours()
+        )
+        assert report.to_dict()["tenants"][0][
+            "first_detection_hours"
+        ] is not None
+
+    def test_none_restores_honest_serving_but_keeps_record(self):
+        fleet = self.build()
+        fleet.inject_adversary(
+            "p",
+            CorruptionAttack("bne", 0.5, DeterministicRNG("inject")),
+        )
+        fleet.inject_adversary("p", None)
+        assert fleet.provider("p").strategy is None
+        assert fleet.adversaries() == {"p": "CorruptionAttack"}
+
+
 class TestRegistration:
     def test_duplicate_file_rejected(self):
         fleet = AuditFleet(seed="dup")

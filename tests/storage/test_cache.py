@@ -50,6 +50,46 @@ class TestAdversarialEdges:
         assert cache.get("keep") == b"1234"
         assert cache.used_bytes == 4
 
+    def test_oversized_put_evicts_stale_entry(self):
+        # Regression pin: putting a value larger than capacity used to
+        # return early and leave the key's *previous* value cached, so
+        # the next get served stale data.
+        cache = LRUCache(4)
+        cache.put("k", b"old")
+        cache.put("k", b"too-big")  # rejected -- but "old" must go too
+        assert cache.get("k") is None
+        assert cache.n_entries == 0
+        assert cache.used_bytes == 0
+
+    def test_oversized_put_at_zero_capacity_evicts_stale_empty(self):
+        cache = LRUCache(0)
+        cache.put("k", b"")         # the only value a 0-byte budget fits
+        cache.put("k", b"x")        # rejected, must not resurrect b""
+        assert cache.get("k") is None
+        assert cache.n_entries == 0
+
+    def test_zero_capacity_hit_rate_accounting(self):
+        cache = LRUCache(0)
+        assert cache.hit_rate == 0.0
+        cache.put("k", b"v")        # rejected: nothing cached
+        assert cache.get("k") is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.hit_rate == 0.0
+        cache.put("empty", b"")
+        assert cache.get("empty") == b""
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_zero_capacity_clear_resets(self):
+        cache = LRUCache(0)
+        cache.put("empty", b"")
+        cache.get("empty")
+        cache.get("ghost")
+        cache.clear()
+        assert cache.n_entries == 0
+        assert cache.used_bytes == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.hit_rate == 0.0
+
     def test_exact_capacity_entry_is_cached(self):
         cache = LRUCache(4)
         cache.put("fit", b"1234")

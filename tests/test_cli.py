@@ -220,6 +220,100 @@ class TestFleet:
         assert "spindles" in err
 
 
+class TestEconomics:
+    QUICK = [
+        "economics",
+        "--files", "6",
+        "--hours", "12",
+        "--seed", "cli-test",
+        "--skip-equivalence",
+    ]
+
+    def test_prefetch_sweep_meets_bound_exit_zero(self, capsys):
+        code = main(
+            self.QUICK + ["--cache-fractions", "0", "0.5", "1",
+                          "--engine", "slot"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Adversary campaign" in out
+        assert "Cache sweep" in out
+        assert "Per-tenant defence pricing" in out
+        assert "break-even cache size" in out
+        assert "detection bound (1 - (cache/file)^k): met" in out
+
+    def test_json_to_stdout_is_machine_readable(self, capsys):
+        import json
+
+        code = main(
+            self.QUICK
+            + ["--cache-fractions", "0", "1", "--engine", "slot",
+               "--json", "-"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)  # pure JSON: no table mixed in
+        assert payload["bound_satisfied"] is True
+        assert payload["break_even_cache_bytes"] > 0
+        assert payload["attack"] == "prefetch-relay"
+        assert len(payload["cells"]) == 2
+        assert len(payload["quotes"]) == 3
+        # The full-cache cell escapes detection; the empty cache never.
+        by_fraction = {c["cache_fraction"]: c for c in payload["cells"]}
+        assert by_fraction[0.0]["observed_detection_rate"] == 1.0
+        assert by_fraction[1.0]["observed_detection_rate"] == 0.0
+
+    def test_json_to_file_keeps_the_table(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "economics.json"
+        code = main(
+            self.QUICK
+            + ["--cache-fractions", "0.5", "--engine", "slot",
+               "--json", str(target)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Adversary campaign" in out  # table still printed
+        payload = json.loads(target.read_text())
+        assert payload["cells"][0]["cache_fraction"] == 0.5
+
+    def test_unknown_engine_exits_2_via_repro_errors(self, capsys):
+        code = main(self.QUICK + ["--engine", "threads"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown engine" in err
+
+    def test_unknown_attack_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["economics", "--attack", "teleport"])
+
+    def test_deletion_campaign_runs(self, capsys):
+        code = main(
+            self.QUICK + ["--attack", "deletion", "--engine", "slot",
+                          "--delete-fraction", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deletion" in out
+
+    def test_deletion_json_is_strictly_valid(self, capsys):
+        # Regression pin: deletion cells used to leak NaN into the
+        # JSON payload, breaking strict parsers.
+        import json
+
+        code = main(
+            self.QUICK + ["--attack", "deletion", "--engine", "slot",
+                          "--json", "-"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out, parse_constant=lambda c: (
+            pytest.fail(f"non-finite constant {c!r} in JSON")
+        ))
+        assert payload["cells"][0]["detection_probability"] is None
+
+
 class TestAnalyse:
     def test_paper_scale(self, capsys):
         code = main(

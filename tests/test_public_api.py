@@ -14,6 +14,7 @@ PUBLIC_PACKAGES = [
     "repro.core",
     "repro.crypto",
     "repro.distbound",
+    "repro.economics",
     "repro.erasure",
     "repro.fleet",
     "repro.geo",
