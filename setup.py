@@ -9,4 +9,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    # The core package is stdlib-only; numpy unlocks the vectorized
+    # GF(256)/Reed-Solomon data plane (repro.gf.gf256_vec).  Absence is
+    # detected at import (repro.gf.HAS_NUMPY) and every caller falls
+    # back to the byte-identical scalar path.
+    extras_require={"fast": ["numpy"]},
 )

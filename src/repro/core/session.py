@@ -61,6 +61,7 @@ def outsource_file(
     sla: SLAPolicy,
     home_datacentre: str,
     rng: DeterministicRNG,
+    workers: int | None = None,
 ) -> OutsourcedFile:
     """Encode ``data``, upload it, and hand auditing duty to the TPA.
 
@@ -69,13 +70,15 @@ def outsource_file(
     :class:`~repro.fleet.fleet.AuditFleet`: derive per-file POR keys
     from the caller's RNG, run the Juels-Kaliski setup pipeline, store
     the encoded file at its contractual home site, and register the
-    MAC key + SLA with the TPA.
+    MAC key + SLA with the TPA.  ``workers`` shards the setup
+    pipeline's Reed-Solomon encode across a process pool (the result
+    is byte-identical to the serial setup).
     """
     keys = PORKeys.derive(
         rng.fork(f"keys-{file_id.hex()}").random_bytes(32)
     )
     setup_start = time.perf_counter()
-    encoded = setup_file(data, keys, file_id, params)
+    encoded = setup_file(data, keys, file_id, params, workers=workers)
     setup_seconds = time.perf_counter() - setup_start
     provider.upload(encoded, home_datacentre)
     tpa.register_file(
@@ -173,7 +176,9 @@ class GeoProofSession:
 
     # -- data-owner operations ---------------------------------------------
 
-    def outsource(self, file_id: bytes, data: bytes) -> OutsourcedFile:
+    def outsource(
+        self, file_id: bytes, data: bytes, *, workers: int | None = None
+    ) -> OutsourcedFile:
         """Encode a file, upload it, and register it with the TPA."""
         if file_id in self.files:
             raise ConfigurationError(f"file {file_id!r} already outsourced")
@@ -186,6 +191,7 @@ class GeoProofSession:
             sla=self.sla,
             home_datacentre=self.home_datacentre,
             rng=self._rng,
+            workers=workers,
         )
         self.files[file_id] = record
         return record

@@ -9,7 +9,8 @@ scratch on top of :mod:`hashlib`'s SHA-256:
 * :mod:`repro.crypto.prf` -- HMAC-SHA256 pseudorandom function.
 * :mod:`repro.crypto.kdf` -- HKDF (extract-and-expand) key derivation.
 * :mod:`repro.crypto.mac` -- truncated HMAC tags (the paper uses 20-bit
-  tags on POR segments).
+  tags on POR segments), with batch ``mac_tag_many``/``mac_verify_many``
+  that amortise the HMAC key schedule across a file's segments.
 * :mod:`repro.crypto.prp` -- a Luby-Rackoff Feistel pseudorandom
   permutation over an arbitrary domain ``[0, n)`` via cycle-walking,
   used to shuffle file blocks in the POR setup phase; the batch
@@ -23,7 +24,7 @@ scratch on top of :mod:`hashlib`'s SHA-256:
 
 from repro.crypto.aes import AES, aes_ctr_decrypt, aes_ctr_encrypt
 from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
-from repro.crypto.mac import mac_tag, mac_verify
+from repro.crypto.mac import mac_tag, mac_tag_many, mac_verify, mac_verify_many
 from repro.crypto.prf import prf, prf_int, prf_many, prf_stream
 from repro.crypto.prp import BlockPermutation, FeistelPRP
 from repro.crypto.rng import DeterministicRNG
@@ -43,7 +44,9 @@ __all__ = [
     "hkdf_extract",
     "hkdf_expand",
     "mac_tag",
+    "mac_tag_many",
     "mac_verify",
+    "mac_verify_many",
     "prf",
     "prf_int",
     "prf_many",

@@ -21,9 +21,62 @@ inconsistent syndromes after correction).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.errors import ConfigurationError, UncorrectableError
 from repro.gf.gf256 import EXP_TABLE, LOG_TABLE, mul_fast
 from repro.gf.poly import Poly
+
+
+@lru_cache(maxsize=None)
+def _parity_matrix(n: int, k: int) -> tuple[bytes, ...]:
+    """Systematic parity rows: row ``i`` is ``encode(e_i)[k:]``.
+
+    Systematic RS parity is GF(256)-linear in the message, so encoding
+    a unit message per position yields a ``k x (n - k)`` matrix whose
+    GF-linear combination with any message reproduces ``encode``'s
+    parity byte for byte.  This is what the vectorized batch encoder
+    multiplies against (see :mod:`repro.gf.gf256_vec`).
+
+    Row ``i`` is the parity of the message with a 1 at byte position
+    ``i``: message byte ``i`` is the coefficient of ``x^(n-1-i)``, so
+    the row is ``x^(n-1-i) mod g`` laid out in codeword byte order.
+    Rather than pay ``k`` polynomial divisions, the remainders are
+    built incrementally from ``x^(n-k) mod g`` by multiply-by-x steps
+    (shift, then fold the overflowing top coefficient back through the
+    monic generator), visiting degrees ``n-k .. n-1`` once each.
+    """
+    t = n - k
+    g = ReedSolomon._build_generator(t).coeffs  # monic, degree t
+    rows: list[bytes | None] = [None] * k
+    # remainder of x^d mod g, low-degree-first, fixed length t
+    remainder = list(g[:t])  # d = t: x^t mod g = g(x) - x^t
+    for d in range(t, n):
+        rows[n - 1 - d] = bytes(reversed(remainder))
+        top = remainder[t - 1]
+        remainder = [0] + remainder[: t - 1]
+        if top:
+            log_top = LOG_TABLE[top]
+            for m in range(t):
+                if g[m]:
+                    remainder[m] ^= EXP_TABLE[log_top + LOG_TABLE[g[m]]]
+    return tuple(rows)  # type: ignore[arg-type]
+
+
+@lru_cache(maxsize=None)
+def _syndrome_matrix(n: int, k: int) -> tuple[bytes, ...]:
+    """Vandermonde syndrome rows: ``S[i][j] = alpha^((i+1) * (n-1-j))``.
+
+    Codeword byte ``j`` is the coefficient of ``x^(n-1-j)``, so the
+    syndrome ``S_i = c(alpha^i)`` is the dot product of row ``i - 1``
+    with the codeword bytes -- the matrix form of ``_syndromes`` the
+    vectorized decode pre-screen evaluates for all interleaved columns
+    at once.
+    """
+    return tuple(
+        bytes(EXP_TABLE[(i * (n - 1 - j)) % 255] for j in range(n))
+        for i in range(1, n - k + 1)
+    )
 
 
 class ReedSolomon:
@@ -57,6 +110,20 @@ class ReedSolomon:
         for i in range(1, n_parity + 1):
             g = g * Poly([EXP_TABLE[i], 1])  # (x + alpha^i)
         return g
+
+    def parity_matrix(self) -> tuple[bytes, ...]:
+        """The ``k x (n-k)`` systematic parity matrix (row per message byte).
+
+        ``encode(m)[k:]`` equals the GF(256) linear combination
+        ``XOR_i m[i] * parity_matrix()[i]``; the batch encoder computes
+        that combination for many messages as one matrix product.
+        Cached per (n, k) across instances.
+        """
+        return _parity_matrix(self.n, self.k)
+
+    def syndrome_matrix(self) -> tuple[bytes, ...]:
+        """The ``(n-k) x n`` syndrome evaluation matrix (cached per (n, k))."""
+        return _syndrome_matrix(self.n, self.k)
 
     # -- encoding ---------------------------------------------------------
 

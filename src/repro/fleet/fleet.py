@@ -172,6 +172,7 @@ class AuditFleet:
         region_radius_km: float = 100.0,
         engine: str = "slot",
         lane_queue_limit: int = 4,
+        setup_workers: int | None = None,
     ) -> None:
         check_positive("slot_minutes", slot_minutes)
         check_positive("dispatch_overhead_ms", dispatch_overhead_ms, strict=False)
@@ -190,6 +191,12 @@ class AuditFleet:
             raise ConfigurationError(
                 f"lane_queue_limit must be >= 1, got {lane_queue_limit}"
             )
+        if setup_workers is not None and (
+            not isinstance(setup_workers, int) or setup_workers < 1
+        ):
+            raise ConfigurationError(
+                f"setup_workers must be a positive int, got {setup_workers!r}"
+            )
         self.clock = SimClock()
         self.params = params or TEST_PARAMS
         self.strategy = strategy or RoundRobinStrategy()
@@ -201,6 +208,9 @@ class AuditFleet:
         self.region_radius_km = region_radius_km
         self.engine = engine
         self.lane_queue_limit = lane_queue_limit
+        #: Process-pool width for the outsourcing pipeline's RS encode
+        #: (None = in-process; see core.session.outsource_file).
+        self.setup_workers = setup_workers
         self._rng = DeterministicRNG(seed)
         self._deployments: dict[str, ProviderDeployment] = {}
         self._tasks: dict[tuple[str, bytes], AuditTask] = {}
@@ -378,6 +388,7 @@ class AuditFleet:
             rng=self._rng.fork(f"tenant-{tenant}").fork(
                 f"provider-{provider}"
             ),
+            workers=self.setup_workers,
         )
         self._place_replicas(deployment, file_id, replica_names, k)
         task = AuditTask(

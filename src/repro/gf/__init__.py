@@ -8,9 +8,15 @@ GF(2^8) and polynomial manipulation over that field:
   (0x11D) and generator 2.
 * :mod:`repro.gf.poly` -- dense polynomials over GF(2^8): evaluation,
   arithmetic, formal derivative, root finding (Chien-style scan).
+* :mod:`repro.gf.gf256_vec` -- numpy table-lookup kernels (elementwise
+  exp/log-gather multiply, GF(256) matrix products) behind the
+  :data:`HAS_NUMPY` capability flag; the vectorized Reed-Solomon data
+  plane builds on these, with automatic scalar fallback when numpy
+  (the ``fast`` optional extra) is not installed.
 """
 
 from repro.gf.gf256 import GF256
+from repro.gf.gf256_vec import HAS_NUMPY
 from repro.gf.poly import Poly
 
-__all__ = ["GF256", "Poly"]
+__all__ = ["GF256", "HAS_NUMPY", "Poly"]

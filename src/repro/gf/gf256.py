@@ -91,6 +91,13 @@ class GF256:
     def pow(a: int, exponent: int) -> int:
         """Field exponentiation ``a ** exponent`` (exponent may be negative)."""
         GF256._check(a)
+        if not isinstance(exponent, int):
+            # Without this check a float exponent survives down to
+            # ``(_LOG[a] * exponent) % 255`` and crashes with an opaque
+            # TypeError at the table index.
+            raise ConfigurationError(
+                f"exponent must be an int, got {exponent!r}"
+            )
         if a == 0:
             if exponent <= 0:
                 raise ZeroDivisionError("0 ** non-positive is undefined")

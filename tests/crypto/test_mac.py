@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.crypto.mac import mac_tag, mac_verify
+from repro.crypto.mac import mac_tag, mac_tag_many, mac_verify, mac_verify_many
 from repro.errors import ConfigurationError
 
 
@@ -57,3 +57,56 @@ class TestMacVerify:
     def test_rejects_wrong_length_tag(self):
         tag = mac_tag(b"key", b"segment", 5, b"fid")
         assert not mac_verify(b"key", b"segment", 5, b"fid", tag + b"\x00")
+
+
+class TestBatchTags:
+    """mac_tag_many / mac_verify_many equal the per-segment calls."""
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=40), min_size=0, max_size=8),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tag_many_matches_scalar(self, segments, tag_bits):
+        batch = mac_tag_many(b"key", segments, b"fid", tag_bits=tag_bits)
+        scalar = [
+            mac_tag(b"key", seg, i, b"fid", tag_bits=tag_bits)
+            for i, seg in enumerate(segments)
+        ]
+        assert batch == scalar
+
+    def test_explicit_indices(self):
+        segments = [b"a", b"b"]
+        batch = mac_tag_many(b"key", segments, b"fid", indices=[7, 3])
+        assert batch == [
+            mac_tag(b"key", b"a", 7, b"fid"),
+            mac_tag(b"key", b"b", 3, b"fid"),
+        ]
+
+    def test_index_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            mac_tag_many(b"key", [b"a", b"b"], b"fid", indices=[1])
+
+    def test_tag_bits_validated(self):
+        with pytest.raises(ConfigurationError):
+            mac_tag_many(b"key", [b"a"], b"fid", tag_bits=0)
+
+    def test_verify_many(self):
+        segments = [b"s0", b"s1", b"s2"]
+        tags = mac_tag_many(b"key", segments, b"fid")
+        results = mac_verify_many(b"key", segments, tags, b"fid")
+        assert results == [True, True, True]
+        tampered = [tags[0], b"\xff\xff\xf0", tags[2]]
+        assert mac_verify_many(b"key", segments, tampered, b"fid") == [
+            True,
+            False,
+            True,
+        ]
+
+    def test_verify_many_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            mac_verify_many(b"key", [b"a"], [], b"fid")
+
+    def test_empty_batch(self):
+        assert mac_tag_many(b"key", [], b"fid") == []
+        assert mac_verify_many(b"key", [], [], b"fid") == []

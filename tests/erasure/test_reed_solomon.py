@@ -164,3 +164,51 @@ class TestCorrect:
         codeword = bytearray(rs.encode(message))
         codeword[2] ^= 0x99
         assert rs.correct(bytes(codeword)) == rs.encode(message)
+
+
+class TestLinearAlgebraViews:
+    """Parity/syndrome matrices pin the vectorized encoder's algebra."""
+
+    @pytest.mark.parametrize("n,k", [(15, 11), (31, 19), (255, 223), (2, 1)])
+    def test_parity_matrix_rows_are_unit_parities(self, n, k):
+        rs = ReedSolomon(n, k)
+        matrix = rs.parity_matrix()
+        assert len(matrix) == k
+        for i in range(0, k, max(1, k // 7)):
+            unit = bytes(1 if j == i else 0 for j in range(k))
+            assert matrix[i] == rs.encode(unit)[k:]
+
+    def test_parity_matrix_linearity_reproduces_encode(self):
+        rs = ReedSolomon(15, 11)
+        matrix = rs.parity_matrix()
+        message = bytes((3 * i + 1) % 256 for i in range(11))
+        parity = bytearray(4)
+        for i, byte in enumerate(message):
+            if byte:
+                for j in range(4):
+                    from repro.gf.gf256 import mul_fast as _mul
+
+                    parity[j] ^= _mul(byte, matrix[i][j])
+        assert bytes(parity) == rs.encode(message)[11:]
+
+    def test_syndrome_matrix_matches_syndromes(self):
+        rs = ReedSolomon(15, 11)
+        codeword = bytearray(rs.encode(bytes(range(11))))
+        codeword[4] ^= 0x21  # make the syndromes nonzero
+        from repro.gf.gf256 import mul_fast as _mul
+
+        matrix = rs.syndrome_matrix()
+        computed = [
+            __import__("functools").reduce(
+                lambda acc, pair: acc ^ _mul(pair[0], pair[1]),
+                zip(row, codeword),
+                0,
+            )
+            for row in matrix
+        ]
+        assert computed == rs._syndromes(bytes(codeword))
+
+    def test_cached_across_instances(self):
+        assert ReedSolomon(15, 11).parity_matrix() is ReedSolomon(
+            15, 11
+        ).parity_matrix()

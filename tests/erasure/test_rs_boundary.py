@@ -1,0 +1,137 @@
+"""Correction-radius boundary properties for the RS decoder.
+
+The code guarantees decoding for any mix of ``e`` unknown errors and
+``f`` erasures with ``2e + f <= n - k``.  This module sweeps random
+geometries and random patterns *exactly at* the boundary (must decode)
+and one unit beyond (must raise -- or, in the rare patterns where the
+received word still lies within some codeword's radius, must return
+the *original* message; silently-wrong bytes are never acceptable).
+The same patterns are cross-checked through the striped layer with the
+vectorized and scalar engines.
+"""
+
+import random
+
+import pytest
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.erasure.striping import BlockStriper, StripeLayout
+from repro.errors import UncorrectableError
+from repro.gf import HAS_NUMPY
+
+GEOMETRIES = [(15, 11), (31, 19), (63, 45), (255, 223)]
+
+
+def corrupt(codeword: bytes, rnd: random.Random, e: int, f: int):
+    """Apply e random errors and f erasures at distinct positions.
+
+    Error positions get a guaranteed-nonzero XOR; erasure positions get
+    an arbitrary replacement byte (possibly the original: an erasure is
+    a *position* hint, not a guarantee of corruption).
+    """
+    n = len(codeword)
+    positions = rnd.sample(range(n), e + f)
+    error_positions, erasure_positions = positions[:e], positions[e:]
+    word = bytearray(codeword)
+    for pos in error_positions:
+        word[pos] ^= rnd.randrange(1, 256)
+    for pos in erasure_positions:
+        word[pos] = rnd.randrange(256)
+    return bytes(word), sorted(erasure_positions)
+
+
+class TestAtTheBoundary:
+    @pytest.mark.parametrize("n,k", GEOMETRIES)
+    def test_exactly_at_radius_decodes(self, n, k):
+        rs = ReedSolomon(n, k)
+        rnd = random.Random(f"boundary-{n}-{k}")
+        radius = n - k
+        for trial in range(12):
+            message = bytes(rnd.randrange(256) for _ in range(k))
+            codeword = rs.encode(message)
+            # Sweep the whole boundary line 2e + f = n - k.
+            f = rnd.choice([r for r in range(radius + 1) if (radius - r) % 2 == 0])
+            e = (radius - f) // 2
+            word, erasures = corrupt(codeword, rnd, e, f)
+            assert rs.decode(word, erasures=erasures) == message, (e, f)
+
+    @pytest.mark.parametrize("n,k", GEOMETRIES)
+    def test_one_beyond_never_silently_wrong(self, n, k):
+        rs = ReedSolomon(n, k)
+        rnd = random.Random(f"beyond-{n}-{k}")
+        radius = n - k
+        for trial in range(12):
+            message = bytes(rnd.randrange(256) for _ in range(k))
+            codeword = rs.encode(message)
+            # One beyond the boundary: 2e + f = n - k + 1, with every
+            # corrupted position carrying a real (nonzero) change so
+            # the pattern genuinely exceeds the radius.
+            f = rnd.choice([r for r in range(radius + 1) if (radius + 1 - r) % 2 == 0])
+            e = (radius + 1 - f) // 2
+            positions = rnd.sample(range(n), e + f)
+            word = bytearray(codeword)
+            for pos in positions:
+                word[pos] ^= rnd.randrange(1, 256)
+            erasures = sorted(positions[e:])
+            try:
+                decoded = rs.decode(bytes(word), erasures=erasures)
+            except UncorrectableError:
+                continue  # the expected outcome
+            # A decode that *succeeds* beyond the radius must still be
+            # the true message -- never silently-wrong bytes.
+            assert decoded == message
+
+    def test_all_zero_syndromes_with_erasures(self):
+        # A clean codeword decoded with erasure hints exercises the
+        # erasure-only path with zero syndromes: the erasure locator is
+        # nontrivial but every Forney magnitude must come out zero.
+        rs = ReedSolomon(15, 11)
+        message = bytes(range(11))
+        codeword = rs.encode(message)
+        assert rs.decode(codeword, erasures=[0, 4, 14]) == message
+        # Same at the full parity budget.
+        assert rs.decode(codeword, erasures=list(range(4))) == message
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="vectorized engine needs numpy")
+class TestStripedCrossCheck:
+    """Scalar and vectorized stripers agree on boundary patterns."""
+
+    LAYOUT = StripeLayout(block_bytes=4, data_blocks=11, total_blocks=15)
+
+    def test_boundary_patterns_agree(self):
+        scalar = BlockStriper(self.LAYOUT, vectorized=False)
+        vector = BlockStriper(self.LAYOUT, vectorized=True)
+        rnd = random.Random("striped-boundary")
+        radius = self.LAYOUT.parity_blocks
+        blocks = [
+            bytes(rnd.randrange(256) for _ in range(4)) for _ in range(11)
+        ]
+        encoded = scalar.encode_chunk(blocks)
+        assert encoded == vector.encode_chunk(blocks)
+        for f in [0, 2, 4]:
+            e = (radius - f) // 2
+            positions = rnd.sample(range(15), e + f)
+            chunk = list(encoded)
+            for pos in positions:
+                chunk[pos] = bytes(b ^ 0x7E for b in chunk[pos])
+            erasures = sorted(positions[e:])
+            out_s = scalar.decode_chunk(chunk, erasures=erasures)
+            out_v = vector.decode_chunk(chunk, erasures=erasures)
+            assert out_s == out_v == blocks
+
+    def test_beyond_radius_agree_on_failure(self):
+        scalar = BlockStriper(self.LAYOUT, vectorized=False)
+        vector = BlockStriper(self.LAYOUT, vectorized=True)
+        rnd = random.Random("striped-beyond")
+        blocks = [
+            bytes(rnd.randrange(256) for _ in range(4)) for _ in range(11)
+        ]
+        encoded = scalar.encode_chunk(blocks)
+        chunk = list(encoded)
+        for pos in rnd.sample(range(15), 3):  # 3 errors > radius 2
+            chunk[pos] = bytes(b ^ 0x11 for b in chunk[pos])
+        with pytest.raises(UncorrectableError):
+            scalar.decode_chunk(chunk)
+        with pytest.raises(UncorrectableError):
+            vector.decode_chunk(chunk)

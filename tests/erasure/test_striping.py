@@ -114,3 +114,162 @@ class TestWholeFile:
         striper = BlockStriper(StripeLayout())
         # 1000 blocks -> ceil(1000/223) = 5 chunks -> 1275 blocks.
         assert striper.encoded_length(1000) == 5 * 255
+
+
+class TestErasureValidation:
+    """Satellite fixes: block-granularity erasure validation up front."""
+
+    def test_out_of_range_erasure_is_block_indexed(self):
+        striper = BlockStriper(SMALL)
+        encoded = striper.encode_chunk(make_blocks(11))
+        with pytest.raises(ConfigurationError) as excinfo:
+            striper.decode_chunk(encoded, erasures=[300])
+        # The old behaviour surfaced this as a per-column RS failure
+        # ("chunk unrecoverable at byte column 0: erasure position 300
+        # out of range") after a wasted decode; now it is reported at
+        # block granularity before any column is touched.
+        message = str(excinfo.value)
+        assert "block index 300" in message
+        assert "byte column" not in message
+
+    def test_negative_erasure_rejected(self):
+        striper = BlockStriper(SMALL)
+        encoded = striper.encode_chunk(make_blocks(11))
+        with pytest.raises(ConfigurationError):
+            striper.decode_chunk(encoded, erasures=[-1])
+
+    def test_over_budget_erasures_rejected_before_decoding(self):
+        striper = BlockStriper(SMALL)
+        encoded = striper.encode_chunk(make_blocks(11))
+        with pytest.raises(UncorrectableError) as excinfo:
+            striper.decode_chunk(encoded, erasures=[0, 1, 2, 3, 4])
+        message = str(excinfo.value)
+        assert "parity budget" in message
+        assert "byte column" not in message  # failed up front, not mid-decode
+
+    def test_erasures_at_exact_budget_still_decode(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(11)
+        encoded = striper.encode_chunk(blocks)
+        corrupted = list(encoded)
+        for position in [1, 5, 9, 13]:
+            corrupted[position] = bytes(4)
+        assert (
+            striper.decode_chunk(corrupted, erasures=[1, 5, 9, 13]) == blocks
+        )
+
+
+@pytest.mark.skipif(
+    not __import__("repro.gf", fromlist=["HAS_NUMPY"]).HAS_NUMPY,
+    reason="vectorized engine needs numpy",
+)
+class TestVectorizedEquivalence:
+    """The numpy batch engine is byte-identical to the scalar anchor."""
+
+    def test_auto_detection_prefers_vectorized(self):
+        assert BlockStriper(SMALL).vectorized is True
+        assert BlockStriper(SMALL, vectorized=False).vectorized is False
+
+    def test_requesting_vectorized_without_numpy_raises(self, monkeypatch):
+        from repro.gf import gf256_vec
+
+        monkeypatch.setattr(gf256_vec, "HAS_NUMPY", False)
+        with pytest.raises(ConfigurationError):
+            BlockStriper(SMALL, vectorized=True)
+        # Auto-detection falls back to the scalar engine.
+        assert BlockStriper(SMALL).vectorized is False
+
+    @given(st.integers(1, 40), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_encode_blocks_equivalence(self, n_blocks, seed):
+        blocks = make_blocks(n_blocks, seed=f"vec-{seed}")
+        scalar = BlockStriper(SMALL, vectorized=False).encode_blocks(blocks)
+        vector = BlockStriper(SMALL, vectorized=True).encode_blocks(blocks)
+        assert scalar == vector
+
+    def test_encode_chunk_equivalence_on_paper_layout(self):
+        layout = StripeLayout()  # RS(255, 223), 16-byte blocks
+        blocks = make_blocks(223, block_bytes=16, seed="paper")
+        scalar = BlockStriper(layout, vectorized=False).encode_chunk(blocks)
+        vector = BlockStriper(layout, vectorized=True).encode_chunk(blocks)
+        assert scalar == vector
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2), st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_decode_equivalence_with_errors_and_erasures(self, seed, e, f):
+        import random
+
+        rnd = random.Random(f"dec-{seed}")
+        if 2 * e + f > SMALL.parity_blocks:
+            e, f = 1, 2
+        blocks = make_blocks(11, seed=f"dec-{seed}")
+        scalar = BlockStriper(SMALL, vectorized=False)
+        vector = BlockStriper(SMALL, vectorized=True)
+        chunk = list(scalar.encode_chunk(blocks))
+        positions = rnd.sample(range(15), e + f)
+        for position in positions:
+            chunk[position] = bytes(b ^ 0x5A for b in chunk[position])
+        erasures = sorted(positions[e:])
+        out_s = scalar.decode_chunk(chunk, erasures=erasures)
+        out_v = vector.decode_chunk(chunk, erasures=erasures)
+        assert out_s == out_v == blocks
+
+    def test_clean_decode_with_erasure_hints_equivalent(self):
+        # Zero syndromes + declared erasures: the vectorized pre-screen
+        # may skip the scalar chain, but the bytes must match it.
+        blocks = make_blocks(11)
+        scalar = BlockStriper(SMALL, vectorized=False)
+        vector = BlockStriper(SMALL, vectorized=True)
+        encoded = scalar.encode_chunk(blocks)
+        for erasures in ([], [0], [3, 7, 11, 14]):
+            assert scalar.decode_chunk(
+                encoded, erasures=erasures
+            ) == vector.decode_chunk(encoded, erasures=erasures)
+
+    def test_decode_blocks_roundtrip_vectorized(self):
+        striper = BlockStriper(SMALL, vectorized=True)
+        blocks = make_blocks(30)
+        encoded = striper.encode_blocks(blocks)
+        assert striper.decode_blocks(encoded, 30) == blocks
+
+    def test_block_length_validated_in_vectorized_path(self):
+        striper = BlockStriper(SMALL, vectorized=True)
+        with pytest.raises(ConfigurationError):
+            striper.encode_blocks([b"\x00" * 4, b"\x00" * 3])
+
+
+class TestEncodeWorkers:
+    """Process-pool sharding is byte-identical to the serial encode."""
+
+    def test_workers_equivalence(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(60)  # 6 chunks
+        assert striper.encode_blocks(blocks, workers=3) == striper.encode_blocks(
+            blocks
+        )
+
+    def test_workers_equivalence_scalar_engine(self):
+        striper = BlockStriper(SMALL, vectorized=False)
+        blocks = make_blocks(25)
+        assert striper.encode_blocks(blocks, workers=2) == striper.encode_blocks(
+            blocks
+        )
+
+    def test_workers_on_single_chunk_stays_serial(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(5)
+        assert striper.encode_blocks(blocks, workers=4) == striper.encode_blocks(
+            blocks
+        )
+
+    def test_workers_validation(self):
+        striper = BlockStriper(SMALL)
+        for bad in (0, -2, 1.5, "two"):
+            with pytest.raises(ConfigurationError):
+                striper.encode_blocks(make_blocks(1), workers=bad)
+
+    def test_workers_validate_blocks_in_parent(self):
+        striper = BlockStriper(SMALL)
+        blocks = make_blocks(23) + [b"\x00" * 3]
+        with pytest.raises(ConfigurationError):
+            striper.encode_blocks(blocks, workers=2)

@@ -347,3 +347,35 @@ class TestRegistration:
         assert record.n_segments > 0
         with pytest.raises(ConfigurationError):
             fleet.record("p", b"ghost")
+
+
+class TestSetupWorkers:
+    """The outsourcing pipeline can shard RS encoding across processes."""
+
+    def test_setup_workers_validated(self):
+        for bad in (0, -1, 2.5):
+            with pytest.raises(ConfigurationError):
+                AuditFleet(setup_workers=bad)
+
+    def test_sharded_registration_matches_serial(self):
+        def build(workers):
+            fleet = AuditFleet(seed="workers-fleet", setup_workers=workers)
+            fleet.add_provider("acme", [("brisbane", city("brisbane"))])
+            fleet.register(
+                tenant="alice",
+                provider="acme",
+                datacentre="brisbane",
+                file_id=b"file-1",
+                data=DeterministicRNG("workers-data").random_bytes(4_000),
+            )
+            return fleet
+
+        serial, sharded = build(None), build(2)
+        store_serial = serial.provider("acme").datacentre("brisbane").server.store
+        store_sharded = sharded.provider("acme").datacentre("brisbane").server.store
+        n = store_serial.n_segments(b"file-1")
+        assert n == store_sharded.n_segments(b"file-1")
+        for index in range(n):
+            seg_a = store_serial.get_segment(b"file-1", index)
+            seg_b = store_sharded.get_segment(b"file-1", index)
+            assert (seg_a.payload, seg_a.tag) == (seg_b.payload, seg_b.tag)

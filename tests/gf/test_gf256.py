@@ -105,3 +105,29 @@ class TestFastPath:
     @given(elements, elements)
     def test_mul_fast_matches_checked(self, a, b):
         assert mul_fast(a, b) == GF256.mul(a, b)
+
+
+class TestPowExponentValidation:
+    """Regression: a non-int exponent used to crash deep in the table
+    index with an opaque ``TypeError`` from ``(_LOG[a] * exp) % 255``."""
+
+    def test_float_exponent_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="exponent"):
+            GF256.pow(2, 1.5)
+
+    def test_float_exponent_on_zero_base(self):
+        with pytest.raises(ConfigurationError, match="exponent"):
+            GF256.pow(0, 2.0)
+
+    def test_string_exponent_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="exponent"):
+            GF256.pow(3, "4")
+
+    def test_int_exponents_still_work(self):
+        assert GF256.pow(2, 8) == GF256.mul(GF256.pow(2, 4), GF256.pow(2, 4))
+        assert GF256.pow(7, -1) == GF256.inv(7)
+        assert GF256.pow(5, 0) == 1
+
+    def test_bool_exponent_is_an_int(self):
+        # bool subclasses int; True behaves as exponent 1.
+        assert GF256.pow(9, True) == 9
