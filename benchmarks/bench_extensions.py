@@ -47,8 +47,8 @@ def test_triangulation_detection_radius(benchmark):
         }
         for label, landmarks in configurations.items():
             triangulator = LandmarkTriangulator(landmarks)
-            radius = spoof_detection_radius_km(triangulator, city("brisbane"))
-            rows.append((label, radius))
+            radius_km = spoof_detection_radius_km(triangulator, city("brisbane"))
+            rows.append((label, radius_km))
         return rows
 
     rows = benchmark(sweep)
@@ -98,9 +98,9 @@ def test_triangulation_delay_evasion(benchmark):
             title="Extension -- added-delay evasion of triangulation",
         ),
     )
-    by_delay = dict(rows)
-    assert by_delay[0.0] is False  # caught with honest paths
-    assert by_delay[100.0] is True  # the paper's warned-about evasion
+    by_delay_ms = dict(rows)
+    assert by_delay_ms[0.0] is False  # caught with honest paths
+    assert by_delay_ms[100.0] is True  # the paper's warned-about evasion
 
 
 def test_replication_witness_count(benchmark):

@@ -13,5 +13,7 @@ setup(
     # GF(256)/Reed-Solomon data plane (repro.gf.gf256_vec).  Absence is
     # detected at import (repro.gf.HAS_NUMPY) and every caller falls
     # back to the byte-identical scalar path.
-    extras_require={"fast": ["numpy"]},
+    # The dev extra pulls the static-analysis toolchain the CI
+    # static-analysis lane runs (repro lint itself is stdlib-only).
+    extras_require={"fast": ["numpy"], "dev": ["mypy", "pytest"]},
 )

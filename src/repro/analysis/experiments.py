@@ -94,7 +94,7 @@ def table2_lan_latency(
             4 if placement.distance_km < 1.0 else 6
         )
         lan = LANModel(n_switches=n_switches)
-        rtt = lan.rtt_ms(
+        rtt_ms = lan.rtt_ms(
             placement.distance_km, payload_bytes, rng.fork(f"m{placement.machine}")
         )
         rows.append(
@@ -102,8 +102,8 @@ def table2_lan_latency(
                 machine=placement.machine,
                 location_label=placement.location_label,
                 distance_km=placement.distance_km,
-                rtt_ms=rtt,
-                under_1ms=rtt < 1.0,
+                rtt_ms=rtt_ms,
+                under_1ms=rtt_ms < 1.0,
             )
         )
     return rows
@@ -136,21 +136,21 @@ def table3_internet_latency(*, seed: str | None = None) -> list[Table3Row]:
     rng = DeterministicRNG(seed) if seed is not None else None
     rows = []
     for host in AUSTRALIA_HOSTS:
-        distance = haversine_km(BRISBANE_ADSL_HOST, host.location)
+        distance_km = haversine_km(BRISBANE_ADSL_HOST, host.location)
         # The paper's street-level distances for the two Brisbane hosts
         # (8 / 12 km) reflect road distance; use them for the model too
         # so the comparison is apples-to-apples.
-        model_distance = max(distance, host.paper_distance_km)
-        rtt = model.rtt_ms(
-            model_distance, rng=rng.fork(host.url) if rng else None
+        model_distance_km = max(distance_km, host.paper_distance_km)
+        rtt_ms = model.rtt_ms(
+            model_distance_km, rng=rng.fork(host.url) if rng else None
         )
         rows.append(
             Table3Row(
                 url=host.url,
                 paper_distance_km=host.paper_distance_km,
-                model_distance_km=model_distance,
+                model_distance_km=model_distance_km,
                 paper_latency_ms=host.paper_latency_ms,
-                model_latency_ms=rtt,
+                model_latency_ms=rtt_ms,
             )
         )
     return rows

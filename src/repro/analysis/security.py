@@ -93,11 +93,11 @@ def analyse_deployment(
     # RS erasure decoding heals up to (n - k) erased blocks per chunk
     # when tags localise the damage; the blind-correction radius is
     # (n - k) / 2.  Use the blind radius for the conservative bound.
-    radius = (params.ecc_total_blocks - params.ecc_data_blocks) // 2
+    radius_blocks = (params.ecc_total_blocks - params.ecc_data_blocks) // 2
     n_blocks = n_segments * params.segment_blocks
     n_chunks = max(1, ceil_div(n_blocks, params.ecc_total_blocks))
     irretrievable = file_irretrievability_probability(
-        n_chunks, params.ecc_total_blocks, radius, corruption_fraction
+        n_chunks, params.ecc_total_blocks, radius_blocks, corruption_fraction
     )
     segment_bytes = params.segment_bytes + params.tag_bytes
     relay_bound = relay_distance_bound_km(

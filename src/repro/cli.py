@@ -15,6 +15,9 @@ Usage (after ``pip install -e .``)::
         --strategy work-stealing --json -
     python -m repro.cli economics --attack prefetch-relay --json -
     python -m repro.cli economics --cache-fractions 0 0.5 1 --engine event
+    python -m repro.cli lint                      # src benchmarks examples
+    python -m repro.cli lint src/repro/crypto --rules CRY --json -
+    python -m repro.cli lint --explain SIM001
 
 Each subcommand prints the same rows the benchmarks assert on, so the
 CLI is a thin, scriptable window onto :mod:`repro.analysis.experiments`.
@@ -267,6 +270,55 @@ def _cmd_economics(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.errors import ConfigurationError
+    from repro.lint import Baseline, get_rule, run_lint, update_baseline
+
+    try:
+        if args.explain is not None:
+            rule = get_rule(args.explain)
+            print(f"{rule.id}: {rule.title}")
+            print()
+            print(rule.rationale)
+            return 0
+        paths = tuple(args.paths) or ("src", "benchmarks", "examples")
+        rule_ids = tuple(args.rules) if args.rules else None
+        baseline_path = (
+            args.baseline if args.baseline is not None else "lint_baseline.json"
+        )
+        if args.update_baseline:
+            refreshed = update_baseline(paths, baseline_path, rule_ids=rule_ids)
+            print(f"wrote {baseline_path} ({len(refreshed.entries)} entries)")
+            return 0
+        # The default baseline is optional (a clean tree needs none); an
+        # explicitly named one must exist, or the run silently loses its
+        # exemptions.
+        baseline = None
+        if os.path.exists(baseline_path):
+            baseline = Baseline.load(baseline_path)
+        elif args.baseline is not None:
+            raise ConfigurationError(
+                f"baseline file not found: {baseline_path}"
+            )
+        report = run_lint(paths, rule_ids=rule_ids, baseline=baseline)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+            return 0 if report.ok else 1
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.json}")
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_analyse(args: argparse.Namespace) -> int:
     from repro.analysis.security import analyse_deployment
     from repro.cloud.sla import SLAPolicy
@@ -437,6 +489,52 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON to PATH, or to stdout with '-' (suppresses the table)",
     )
     economics.set_defaults(func=_cmd_economics)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="AST invariant checker: determinism, crypto hygiene, "
+        "error policy, unit safety, fallback reachability",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        metavar="PATH",
+        help="files or directories to scan "
+        "(default: src benchmarks examples)",
+    )
+    lint.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="restrict to these rule ids or families (e.g. SIM CRY001)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline of accepted findings "
+        "(default: lint_baseline.json when present)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    lint.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="dump the LintReport as JSON to PATH, or to stdout with '-'",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print one rule's title and rationale, then exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     analyse = subparsers.add_parser(
         "analyse", help="closed-form security analysis for a deployment"

@@ -71,8 +71,8 @@ class RelayAttack:
         """Forward the request to the remote site (paying flight + remote disk)."""
         front = provider.datacentre(self.front_name)
         remote = provider.datacentre(self.remote_name)
-        distance = haversine_km(front.location, remote.location)
-        flight_ms = provider.internet.rtt_ms(distance, rng=self._rng)
+        distance_km = haversine_km(front.location, remote.location)
+        flight_ms = provider.internet.rtt_ms(distance_km, rng=self._rng)
         remote_result = remote.serve(file_id, index)
         self.relayed_bytes += len(remote_result.segment.wire_bytes())
         return ServeResult(

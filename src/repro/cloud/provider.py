@@ -214,5 +214,5 @@ class CloudProvider:
 
     def internet_rtt_ms(self, a: DataCentre, b: DataCentre) -> float:
         """Provider-internal Internet RTT between two sites."""
-        distance = haversine_km(a.location, b.location)
-        return self.internet.rtt_ms(distance, rng=self._rng)
+        distance_km = haversine_km(a.location, b.location)
+        return self.internet.rtt_ms(distance_km, rng=self._rng)

@@ -47,7 +47,9 @@ class FileRecord:
 
     file_id: bytes
     n_segments: int
-    mac_key: bytes
+    # repr=False: the shared MAC verification key must not surface in
+    # logs or pytest failure output (CRY003).
+    mac_key: bytes = field(repr=False)
     params: PORParams
     sla: SLAPolicy
 

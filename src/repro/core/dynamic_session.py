@@ -325,8 +325,8 @@ class DynamicGeoProofSession:
             or round_.proof.index != round_.index
         )
         budget = self.rtt_budget(margin_ms=margin_ms)
-        max_rtt = transcript.max_rtt_ms
-        timing_ok = max_rtt <= budget.rtt_max_ms
+        max_rtt_ms = transcript.max_rtt_ms
+        timing_ok = max_rtt_ms <= budget.rtt_max_ms
         proofs_ok = not bad
         return DynamicVerdict(
             accepted=signature_ok and position_ok and proofs_ok and timing_ok,
@@ -334,7 +334,7 @@ class DynamicGeoProofSession:
             position_ok=position_ok,
             proofs_ok=proofs_ok,
             timing_ok=timing_ok,
-            max_rtt_ms=max_rtt,
+            max_rtt_ms=max_rtt_ms,
             rtt_max_ms=budget.rtt_max_ms,
             bad_indices=bad,
         )

@@ -77,9 +77,12 @@ def outsource_file(
     keys = PORKeys.derive(
         rng.fork(f"keys-{file_id.hex()}").random_bytes(32)
     )
-    setup_start = time.perf_counter()
+    # The library's one vetted wall-clock read: setup_seconds reports
+    # the *real* encode cost of the outsourcing hot path (tracked by
+    # bench_prp/bench_rs); it never feeds a simulated quantity.
+    setup_start = time.perf_counter()  # repro: lint-ok[SIM001] -- real encode cost, not simulated time
     encoded = setup_file(data, keys, file_id, params, workers=workers)
-    setup_seconds = time.perf_counter() - setup_start
+    setup_seconds = time.perf_counter() - setup_start  # repro: lint-ok[SIM001] -- real encode cost, not simulated time
     provider.upload(encoded, home_datacentre)
     tpa.register_file(
         file_id,

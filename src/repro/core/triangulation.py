@@ -124,16 +124,16 @@ class LandmarkTriangulator:
             raise ConfigurationError("adversary cannot remove delay")
         observations = []
         for name, landmark in self.landmarks.items():
-            distance = haversine_km(landmark, true_position)
-            rtt = (
-                self.internet.rtt_ms(distance, rng=rng)
+            distance_km = haversine_km(landmark, true_position)
+            rtt_ms = (
+                self.internet.rtt_ms(distance_km, rng=rng)
                 + adversary_added_delay_ms
             )
             observations.append(
                 LandmarkObservation(
                     landmark=landmark,
-                    rtt_ms=rtt,
-                    distance_bound_km=self.rtt_to_bound_km(rtt),
+                    rtt_ms=rtt_ms,
+                    distance_bound_km=self.rtt_to_bound_km(rtt_ms),
                 )
             )
         return observations
@@ -149,8 +149,8 @@ class LandmarkTriangulator:
         violated = []
         max_excess = 0.0
         for name, observation in zip(self.landmarks, observations):
-            claimed_distance = haversine_km(observation.landmark, claimed_position)
-            excess = claimed_distance - observation.distance_bound_km
+            claimed_distance_km = haversine_km(observation.landmark, claimed_position)
+            excess = claimed_distance_km - observation.distance_bound_km
             if excess > 0:
                 violated.append(name)
                 max_excess = max(max_excess, excess)

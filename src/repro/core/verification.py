@@ -112,8 +112,8 @@ def verify_transcript(
     macs_ok = not bad_macs
 
     # Step 4: max round time within the calibrated budget.
-    max_rtt = transcript.max_rtt_ms
-    timing_ok = max_rtt <= rtt_max_ms
+    max_rtt_ms_observed = transcript.max_rtt_ms
+    timing_ok = max_rtt_ms_observed <= rtt_max_ms
 
     return GeoProofVerdict(
         accepted=signature_ok
@@ -126,7 +126,7 @@ def verify_transcript(
         macs_ok=macs_ok,
         timing_ok=timing_ok,
         challenge_ok=challenge_ok,
-        max_rtt_ms=max_rtt,
+        max_rtt_ms=max_rtt_ms_observed,
         rtt_max_ms=rtt_max_ms,
         bad_mac_indices=tuple(bad_macs),
     )

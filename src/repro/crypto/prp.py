@@ -49,11 +49,13 @@ when one exists.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Sequence, TypeVar, cast
 
 from repro.crypto.prf import DIGEST_SIZE, prf, prf_many, prf_stream
 from repro.errors import ConfigurationError
 from repro.util.bitops import ceil_div
+
+T = TypeVar("T")
 
 _ROUND_LABEL = b"feistel-round"
 
@@ -366,7 +368,7 @@ class BlockPermutation:
 
     # -- list operations -----------------------------------------------------
 
-    def permute_list(self, items: list) -> list:
+    def permute_list(self, items: list[T]) -> list[T]:
         """Return a new list with ``items`` rearranged by the permutation.
 
         Element at original position *i* moves to position
@@ -377,22 +379,22 @@ class BlockPermutation:
                 f"list length {len(items)} != permutation size {self._n}"
             )
         table = self.permutation_table()
-        out = [None] * self._n
+        out: list[T | None] = [None] * self._n
         for position, item in zip(table, items):
             out[position] = item
-        return out
+        return cast("list[T]", out)
 
-    def unpermute_list(self, items: list) -> list:
+    def unpermute_list(self, items: list[T]) -> list[T]:
         """Invert :meth:`permute_list`."""
         if len(items) != self._n:
             raise ConfigurationError(
                 f"list length {len(items)} != permutation size {self._n}"
             )
         self.permutation_table()
-        out = [None] * self._n
+        out: list[T | None] = [None] * self._n
         for position, item in zip(self._inverse_table, items):
             out[position] = item
-        return out
+        return cast("list[T]", out)
 
     def _check(self, index: int) -> None:
         if not 0 <= index < self._n:

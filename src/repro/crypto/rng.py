@@ -11,9 +11,12 @@ the code needs.  It intentionally mirrors a subset of
 from __future__ import annotations
 
 import math
+from typing import TypeVar
 
 from repro.crypto.prf import prf
 from repro.errors import ConfigurationError
+
+T = TypeVar("T")
 
 
 class DeterministicRNG:
@@ -111,13 +114,13 @@ class DeterministicRNG:
             swapped[j] = swapped.get(i, i)
         return out
 
-    def shuffle(self, items: list) -> None:
+    def shuffle(self, items: list[T]) -> None:
         """In-place Fisher-Yates shuffle."""
         for i in range(len(items) - 1, 0, -1):
             j = self.randrange(i + 1)
             items[i], items[j] = items[j], items[i]
 
-    def choice(self, items: list):
+    def choice(self, items: list[T]) -> T:
         """Uniformly choose one element of a non-empty sequence."""
         if not items:
             raise ConfigurationError("cannot choose from an empty sequence")
@@ -148,8 +151,8 @@ class DeterministicRNG:
             raise ConfigurationError(f"stddev must be >= 0, got {stddev}")
         u1 = self.uniform(0.0, 1.0)
         u2 = self.uniform(0.0, 1.0)
-        radius = math.sqrt(-2.0 * math.log(1.0 - u1))
-        return mean + stddev * radius * math.cos(2.0 * math.pi * u2)
+        magnitude = math.sqrt(-2.0 * math.log(1.0 - u1))
+        return mean + stddev * magnitude * math.cos(2.0 * math.pi * u2)
 
     def bernoulli(self, probability: float) -> bool:
         """True with the given probability."""

@@ -182,7 +182,7 @@ def verdict(
             n_timing_violations += 1
     bits_ok = n_bit_errors == 0
     timing_ok = n_timing_violations == 0
-    max_rtt = transcript.max_rtt_ms
+    max_rtt_ms_observed = transcript.max_rtt_ms
     return DistanceBoundingResult(
         accepted=bits_ok and timing_ok,
         bits_ok=bits_ok,
@@ -190,9 +190,9 @@ def verdict(
         n_rounds=transcript.n_rounds,
         n_bit_errors=n_bit_errors,
         n_timing_violations=n_timing_violations,
-        max_rtt_ms=max_rtt,
+        max_rtt_ms=max_rtt_ms_observed,
         implied_distance_km=rtt_to_distance_km(
-            max_rtt, propagation_speed_km_per_ms
+            max_rtt_ms_observed, propagation_speed_km_per_ms
         ),
         transcript=transcript,
     )

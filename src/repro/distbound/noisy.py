@@ -177,7 +177,7 @@ def tolerant_verdict(
             n_timing_violations += 1
     bits_ok = n_bit_errors <= threshold
     timing_ok = n_timing_violations == 0
-    max_rtt = transcript.max_rtt_ms
+    max_rtt_ms_observed = transcript.max_rtt_ms
     return DistanceBoundingResult(
         accepted=bits_ok and timing_ok,
         bits_ok=bits_ok,
@@ -185,7 +185,7 @@ def tolerant_verdict(
         n_rounds=transcript.n_rounds,
         n_bit_errors=n_bit_errors,
         n_timing_violations=n_timing_violations,
-        max_rtt_ms=max_rtt,
-        implied_distance_km=rtt_to_distance_km(max_rtt),
+        max_rtt_ms=max_rtt_ms_observed,
+        implied_distance_km=rtt_to_distance_km(max_rtt_ms_observed),
         transcript=transcript,
     )

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 
 from repro.erasure.reed_solomon import ReedSolomon
 from repro.errors import ConfigurationError, UncorrectableError
@@ -145,12 +146,12 @@ class BlockStriper:
         self._rs = ReedSolomon(self.layout.total_blocks, self.layout.data_blocks)
         # numpy views of the cached parity/syndrome matrices, built on
         # first use so scalar-only instantiation never touches numpy.
-        self._parity_t_np = None
-        self._syndrome_np = None
+        self._parity_t_np: Any = None
+        self._syndrome_np: Any = None
 
     # -- vectorized kernels --------------------------------------------------
 
-    def _parity_transpose(self):
+    def _parity_transpose(self) -> Any:
         """(n-k, k) numpy parity matrix: parity rows x message positions."""
         if self._parity_t_np is None:
             import numpy as np
@@ -163,7 +164,7 @@ class BlockStriper:
             )
         return self._parity_t_np
 
-    def _syndrome_matrix(self):
+    def _syndrome_matrix(self) -> Any:
         """(n-k, n) numpy syndrome matrix for the decode pre-screen."""
         if self._syndrome_np is None:
             import numpy as np

@@ -56,13 +56,13 @@ class GeoPing(GeolocationScheme):
         """Match the target's delay vector against the candidate map."""
         target_vector = self._probe_vector(target)
         best_candidate = None
-        best_distance = math.inf
+        best_score = math.inf
         for candidate, vector in self._delay_map.items():
-            distance = math.sqrt(
+            score = math.sqrt(
                 sum((a - b) ** 2 for a, b in zip(target_vector, vector))
             )
-            if distance < best_distance:
-                best_distance = distance
+            if score < best_score:
+                best_score = score
                 best_candidate = candidate
         position = self.topology.node(best_candidate).position
         return GeolocationEstimate(

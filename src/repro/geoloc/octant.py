@@ -59,10 +59,10 @@ class OctantLike(GeolocationScheme):
         """Per-landmark (position, r_min_km, r_max_km) rings."""
         rings = []
         for landmark in self.landmarks:
-            rtt = ping(
+            rtt_ms = ping(
                 self.topology, landmark, target, n_probes=self.n_probes
             ).rtt_avg_ms
-            effective = max(0.0, rtt - self.overhead_ms)
+            effective = max(0.0, rtt_ms - self.overhead_ms)
             r_max = self.positive_speed * effective / 2.0
             r_min = self.negative_speed * effective / 2.0 * 0.0
             # Octant's negative information is an inner ring when the
@@ -78,24 +78,24 @@ class OctantLike(GeolocationScheme):
     def locate(self, target: str) -> GeolocationEstimate:
         """Grid-scan the tightest ring's disc for feasible points."""
         rings = self._constraints(target)
-        anchor_position, _, anchor_radius = min(rings, key=lambda ring: ring[2])
+        anchor_position, _, anchor_radius_km = min(rings, key=lambda ring: ring[2])
         feasible: list[GeoPoint] = []
-        n_radial = max(1, int(anchor_radius / self.grid_step_km))
+        n_radial = max(1, int(anchor_radius_km / self.grid_step_km))
         candidates = [anchor_position]
         for i in range(1, n_radial + 1):
-            radius = i * self.grid_step_km
-            n_angular = max(6, int(2 * 3.14159 * radius / self.grid_step_km))
+            radius_km = i * self.grid_step_km
+            n_angular = max(6, int(2 * 3.14159 * radius_km / self.grid_step_km))
             for j in range(n_angular):
                 candidates.append(
                     destination_point(
-                        anchor_position, 360.0 * j / n_angular, radius
+                        anchor_position, 360.0 * j / n_angular, radius_km
                     )
                 )
         for candidate in candidates:
             ok = True
             for centre, r_min, r_max in rings:
-                distance = haversine_km(centre, candidate)
-                if distance > r_max or distance < r_min:
+                distance_km = haversine_km(centre, candidate)
+                if distance_km > r_max or distance_km < r_min:
                     ok = False
                     break
             if ok:

@@ -77,16 +77,16 @@ class TopologyBasedGeolocation(GeolocationScheme):
             hops = traceroute(self.topology, landmark, target)
             if len(hops) >= 2:
                 last_router = hops[-2].node
-                last_link_rtt = hops[-1].rtt_ms - hops[-2].rtt_ms
+                last_link_rtt_ms = hops[-1].rtt_ms - hops[-2].rtt_ms
                 anchor = self._router_estimates.get(
                     last_router, self.topology.node(landmark).position
                 )
             else:
                 # Direct link landmark -> target.
-                last_link_rtt = hops[-1].rtt_ms
+                last_link_rtt_ms = hops[-1].rtt_ms
                 anchor = self.topology.node(landmark).position
-            radius = max(1.0, self.speed * max(0.0, last_link_rtt) / 2.0)
-            anchors.append((anchor, radius))
+            radius_km = max(1.0, self.speed * max(0.0, last_link_rtt_ms) / 2.0)
+            anchors.append((anchor, radius_km))
         total_weight = sum(1.0 / radius for _, radius in anchors)
         latitude = (
             sum(p.latitude / radius for p, radius in anchors) / total_weight

@@ -38,8 +38,15 @@ byte-identical semantics anchor.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.errors import ConfigurationError
 from repro.gf.gf256 import EXP_TABLE, LOG_TABLE
+
+#: Array-of-GF(256)-elements type: bytes, an int sequence, or a numpy
+#: array.  numpy is an optional extra, so the kernels are typed against
+#: ``Any`` rather than ``np.ndarray``.
+GFArray = Any
 
 try:  # pragma: no cover - exercised via the no-numpy CI lane
     import numpy as _np
@@ -80,7 +87,7 @@ def require_numpy(feature: str = "vectorized GF(256) kernels") -> None:
         )
 
 
-def as_gf_array(data, *, name: str = "array"):
+def as_gf_array(data: GFArray, *, name: str = "array") -> GFArray:
     """Coerce ``data`` to a uint8 numpy array of GF(256) elements.
 
     Accepts bytes, lists, or numpy arrays.  Non-uint8 integer input is
@@ -104,7 +111,7 @@ def as_gf_array(data, *, name: str = "array"):
     return arr.astype(_np.uint8)
 
 
-def gf_mul_vec(a, b):
+def gf_mul_vec(a: GFArray, b: GFArray) -> GFArray:
     """Elementwise GF(256) product of two broadcastable arrays.
 
     The vector form of ``GF256.mul``: gather logs, add, gather the
@@ -120,7 +127,7 @@ def gf_mul_vec(a, b):
     return out
 
 
-def gf_matmul(a, b):
+def gf_matmul(a: GFArray, b: GFArray) -> GFArray:
     """GF(256) matrix product ``a @ b`` via product-table gathers.
 
     ``a`` has shape ``(m, k)`` and ``b`` ``(k, w)``; the result is the
@@ -147,7 +154,7 @@ def gf_matmul(a, b):
     return out
 
 
-def gf_matvec(matrix, vector):
+def gf_matvec(matrix: GFArray, vector: GFArray) -> GFArray:
     """GF(256) matrix-vector product ``matrix @ vector`` (1-D result)."""
     vec = as_gf_array(vector, name="vector")
     if vec.ndim != 1:

@@ -1,0 +1,168 @@
+"""Committed baseline of vetted lint exemptions.
+
+The baseline is a JSON file listing findings that were reviewed and
+deliberately kept (each with a one-line justification).  Matching is by
+``(rule, path, snippet)`` so entries survive unrelated line drift; the
+recorded ``line`` is advisory.  Semantics:
+
+* a finding matching a baseline entry is suppressed (one entry absorbs
+  one finding -- duplicates need duplicate entries);
+* a baseline entry matching *no* finding is **stale** and fails the run
+  (exit 1): fixed violations must leave the baseline, so it can only
+  shrink silently, never rot.  ``repro lint --update-baseline``
+  rewrites the file from the current findings, preserving the
+  justifications of entries that survive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One vetted exemption."""
+
+    rule: str
+    path: str
+    snippet: str
+    justification: str = ""
+    line: int = 0
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """An ordered multiset of :class:`BaselineEntry` records."""
+
+    def __init__(self, entries: tuple[BaselineEntry, ...] = ()) -> None:
+        self.entries = tuple(entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise ConfigurationError(
+                f"baseline {path} must be a JSON object with version={_VERSION}"
+            )
+        raw_entries = payload.get("entries")
+        if not isinstance(raw_entries, list):
+            raise ConfigurationError(f"baseline {path} has no 'entries' list")
+        entries = []
+        for i, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict) or not {"rule", "path", "snippet"} <= set(raw):
+                raise ConfigurationError(
+                    f"baseline {path} entry {i} needs rule/path/snippet keys"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    snippet=str(raw["snippet"]),
+                    justification=str(raw.get("justification", "")),
+                    line=int(raw.get("line", 0)),
+                )
+            )
+        return cls(tuple(entries))
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def apply(
+        self,
+        findings: list[Finding],
+        *,
+        scanned_paths: set[str] | None = None,
+        active_rules: set[str] | None = None,
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (kept, baselined) and report stale entries.
+
+        Entries for files outside ``scanned_paths`` or rules outside
+        ``active_rules`` are out of scope for this run: they neither
+        absorb findings nor count as stale (a partial scan like
+        ``repro lint src/repro/crypto`` must not condemn baseline
+        entries it never re-checked).
+        """
+        in_scope = [
+            entry
+            for entry in self.entries
+            if (scanned_paths is None or entry.path in scanned_paths)
+            and (active_rules is None or entry.rule in active_rules)
+        ]
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in in_scope:
+            budget[entry.key] = budget.get(entry.key, 0) + 1
+        kept: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            if budget.get(finding.baseline_key, 0) > 0:
+                budget[finding.baseline_key] -= 1
+                baselined.append(finding)
+            else:
+                kept.append(finding)
+        # Surplus slots mark stale entries: N duplicate entries over M
+        # matching findings report exactly N-M of them as stale.
+        stale: list[BaselineEntry] = []
+        for entry in in_scope:
+            if budget.get(entry.key, 0) > 0:
+                budget[entry.key] -= 1
+                stale.append(entry)
+        return kept, baselined, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Build a fresh baseline, keeping surviving justifications."""
+        old: dict[tuple[str, str, str], list[str]] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                old.setdefault(entry.key, []).append(entry.justification)
+        entries = []
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.rule, f.line, f.col)
+        ):
+            carried = old.get(finding.baseline_key, [])
+            justification = carried.pop(0) if carried else "TODO: justify"
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    snippet=finding.snippet,
+                    justification=justification,
+                    line=finding.line,
+                )
+            )
+        return cls(tuple(entries))

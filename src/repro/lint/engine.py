@@ -1,0 +1,223 @@
+"""The lint engine: discover files, walk ASTs, apply exemptions.
+
+One :func:`run_lint` call scans a set of files/directories, runs every
+selected rule over each file's AST in a single traversal, then filters
+the raw findings through inline pragmas (:mod:`repro.lint.suppress`)
+and the committed baseline (:mod:`repro.lint.baseline`).  The result is
+a :class:`LintReport` that renders for humans, serializes for the CI
+artifact, and decides the exit code (``ok``: no findings *and* no
+stale baseline entries).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro.lint.rules  # noqa: F401  -- populates the registry
+from repro.errors import ConfigurationError
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.findings import Finding
+from repro.lint.registry import (
+    RULES,
+    FileContext,
+    Rule,
+    known_families,
+    module_name_for,
+    resolve_rules,
+)
+from repro.lint.suppress import Pragma, scan_pragmas
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    n_files: int
+    rules: tuple[str, ...]
+    n_suppressed: int = 0
+    n_baselined: int = 0
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "n_files": self.n_files,
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "n_suppressed": self.n_suppressed,
+            "n_baselined": self.n_baselined,
+            "stale_baseline": [entry.to_dict() for entry in self.stale_baseline],
+        }
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        for entry in self.stale_baseline:
+            lines.append(
+                f"{entry.path}: stale baseline entry for {entry.rule} "
+                f"({entry.snippet!r} no longer flagged); remove it or run "
+                f"--update-baseline"
+            )
+        lines.append(
+            f"{len(self.findings)} finding(s) across {self.n_files} file(s) "
+            f"({self.n_suppressed} pragma-suppressed, "
+            f"{self.n_baselined} baselined, "
+            f"{len(self.stale_baseline)} stale baseline entr(y/ies))"
+        )
+        return "\n".join(lines)
+
+
+def discover_files(paths: tuple[str, ...]) -> list[Path]:
+    """Expand files/directories to a sorted list of ``.py`` files."""
+    if not paths:
+        raise ConfigurationError("no paths to lint")
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise ConfigurationError(f"not a python file: {path}")
+            files.append(path)
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+    # De-duplicate while keeping order (overlapping dir arguments).
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _relpath(path: Path) -> str:
+    """Path as recorded in findings/baselines: cwd-relative, POSIX."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def lint_file(
+    path: Path, rules: dict[str, Rule]
+) -> tuple[list[Finding], int]:
+    """Lint one file; returns (kept findings, n pragma-suppressed)."""
+    relpath = _relpath(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ConfigurationError(f"cannot read {relpath}: {exc}") from exc
+    try:
+        tree = ast.parse(text, filename=relpath)
+    except SyntaxError as exc:
+        raise ConfigurationError(
+            f"{relpath}:{exc.lineno}: syntax error: {exc.msg}"
+        ) from exc
+    lines = tuple(text.splitlines())
+    parents: dict[ast.AST, ast.AST] = {}
+    dispatch: dict[type[ast.AST], list[Rule]] = {}
+    for rule in rules.values():
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    ctx = FileContext(
+        path=str(path),
+        relpath=relpath,
+        text=text,
+        lines=lines,
+        tree=tree,
+        module=module_name_for(relpath),
+        parents=parents,
+    )
+    findings: list[Finding] = []
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            findings.extend(rule.visit(node, ctx))
+    pragmas = scan_pragmas(
+        lines,
+        known_rules=set(RULES),
+        known_families=known_families(),
+        relpath=relpath,
+    )
+    kept, suppressed = _apply_pragmas(findings, pragmas)
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+    return kept, suppressed
+
+
+def _apply_pragmas(
+    findings: list[Finding], pragmas: list[Pragma]
+) -> tuple[list[Finding], int]:
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if any(
+            pragma.covers(finding.line) and pragma.matches(finding.rule)
+            for pragma in pragmas
+        ):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def run_lint(
+    paths: tuple[str, ...],
+    *,
+    rule_ids: tuple[str, ...] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint ``paths`` with the selected rules under ``baseline``."""
+    rules = resolve_rules(rule_ids)
+    files = discover_files(paths)
+    findings: list[Finding] = []
+    n_suppressed = 0
+    scanned: set[str] = set()
+    for path in files:
+        scanned.add(_relpath(path))
+        kept, suppressed = lint_file(path, rules)
+        findings.extend(kept)
+        n_suppressed += suppressed
+    report = LintReport(
+        findings=findings,
+        n_files=len(files),
+        rules=tuple(sorted(rules)),
+        n_suppressed=n_suppressed,
+    )
+    if baseline is not None:
+        kept, baselined, stale = baseline.apply(
+            findings, scanned_paths=scanned, active_rules=set(rules)
+        )
+        report.findings = kept
+        report.n_baselined = len(baselined)
+        report.stale_baseline = stale
+    return report
+
+
+def update_baseline(
+    paths: tuple[str, ...],
+    baseline_path: str | Path,
+    *,
+    rule_ids: tuple[str, ...] | None = None,
+) -> Baseline:
+    """Rewrite the baseline from the current post-pragma findings."""
+    previous = (
+        Baseline.load(baseline_path) if os.path.exists(baseline_path) else None
+    )
+    report = run_lint(paths, rule_ids=rule_ids, baseline=None)
+    refreshed = Baseline.from_findings(report.findings, previous)
+    refreshed.save(baseline_path)
+    return refreshed

@@ -1,0 +1,178 @@
+"""Rule base class and registry for the invariant checker.
+
+Rules are small AST visitors: each declares the node types it wants
+(:attr:`Rule.node_types`) and yields :class:`Finding` objects from
+:meth:`Rule.visit`.  The engine walks each file's AST exactly once and
+dispatches nodes to every registered rule interested in that node type,
+so adding a rule never adds another tree traversal.
+
+Rule identifiers are ``<FAMILY><NNN>`` (``SIM001``); the three-letter
+family prefix groups related invariants and is accepted by pragma
+suppressions (``# repro: lint-ok[SIM]`` silences the whole family).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import ClassVar, Iterator
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding, make_finding
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may need to know about the file under scan."""
+
+    path: str
+    #: Path relative to the lint invocation, POSIX separators.
+    relpath: str
+    text: str
+    lines: tuple[str, ...]
+    tree: ast.Module
+    #: Dotted module name ("repro.netsim.clock") when the file sits under
+    #: a ``src`` tree; ``None`` for benchmarks/examples/scripts.
+    module: str | None
+    #: child AST node -> parent AST node, for rules needing structure.
+    parents: dict[ast.AST, ast.AST] = field(repr=False, default_factory=dict)
+
+    @property
+    def in_src(self) -> bool:
+        return self.module is not None
+
+    def in_package(self, prefix: str) -> bool:
+        mod = self.module
+        return mod is not None and (mod == prefix or mod.startswith(prefix + "."))
+
+    def enclosing_body(self, node: ast.AST) -> list[ast.stmt] | None:
+        """The statement list containing ``node`` (body/orelse/finalbody)."""
+        parent = self.parents.get(node)
+        if parent is None:
+            return None
+        for attr in ("body", "orelse", "finalbody", "handlers"):
+            block = getattr(parent, attr, None)
+            if isinstance(block, list) and any(item is node for item in block):
+                return block
+        return None
+
+
+def module_name_for(path: str) -> str | None:
+    """Dotted module name when ``path`` sits under a ``src`` tree.
+
+    ``src/repro/netsim/clock.py`` -> ``repro.netsim.clock``; paths with
+    no ``src`` ancestor (benchmarks, examples, tests) return ``None``.
+    The lookup is purely lexical so fixture trees under a tmp dir behave
+    exactly like the real layout.
+    """
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    if "src" not in parts:
+        return None
+    idx = len(parts) - 1 - tuple(reversed(parts)).index("src")
+    inner = parts[idx + 1 :]
+    if not inner or not inner[-1].endswith(".py"):
+        return None
+    leaf = inner[-1][: -len(".py")]
+    dotted = list(inner[:-1]) + ([] if leaf == "__init__" else [leaf])
+    return ".".join(dotted) if dotted else None
+
+
+class Rule:
+    """One machine-checked invariant.
+
+    Subclasses set the class attributes and implement :meth:`visit`.
+    ``rationale`` is the ``--explain`` text: why the invariant exists
+    and what to do instead; keep it self-contained.
+    """
+
+    id: ClassVar[str]
+    title: ClassVar[str]
+    rationale: ClassVar[str]
+    node_types: ClassVar[tuple[type[ast.AST], ...]]
+
+    @property
+    def family(self) -> str:
+        return self.id.rstrip("0123456789")
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return make_finding(self.id, ctx.relpath, node, message, ctx.lines)
+
+
+#: Global registry: rule id -> instance.  Populated by importing
+#: :mod:`repro.lint.rules`; :func:`register` keeps ids unique.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry."""
+    rule = cls()
+    if rule.id in RULES:
+        raise ConfigurationError(f"duplicate lint rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def known_families() -> set[str]:
+    return {rule.family for rule in RULES.values()}
+
+
+def resolve_rules(rule_ids: tuple[str, ...] | None) -> dict[str, Rule]:
+    """Validate a rule subset; ``None`` selects every registered rule."""
+    if rule_ids is None:
+        return dict(RULES)
+    selected: dict[str, Rule] = {}
+    for rule_id in rule_ids:
+        matches = {
+            rid: rule
+            for rid, rule in RULES.items()
+            if rid == rule_id or rule.family == rule_id
+        }
+        if not matches:
+            raise ConfigurationError(
+                f"unknown lint rule {rule_id!r}; known rules: "
+                f"{', '.join(sorted(RULES))}"
+            )
+        selected.update(matches)
+    return selected
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule for ``--explain``; unknown ids are config errors."""
+    rule = RULES.get(rule_id)
+    if rule is None:
+        raise ConfigurationError(
+            f"unknown lint rule {rule_id!r}; known rules: "
+            f"{', '.join(sorted(RULES))}"
+        )
+    return rule
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Flatten ``a.b.c`` attribute chains to a dotted string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_identifier(node: ast.AST) -> str | None:
+    """The rightmost identifier of a name-like expression.
+
+    ``foo`` -> ``foo``; ``self.rtt_ms`` -> ``rtt_ms``; ``tags[i]`` ->
+    ``tags``.  Returns ``None`` for anything else (calls, literals).
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,20 @@
+"""Rule families for the invariant checker.
+
+Importing this package populates :data:`repro.lint.registry.RULES`;
+each module groups one family:
+
+* :mod:`~repro.lint.rules.sim` -- SIM: determinism (injected clocks,
+  PRF-derived randomness);
+* :mod:`~repro.lint.rules.cry` -- CRY: crypto hygiene (constant-time
+  compares, confined entropy, no key material in reprs);
+* :mod:`~repro.lint.rules.err` -- ERR: error policy (the repro
+  exception hierarchy, no assert-validation);
+* :mod:`~repro.lint.rules.unt` -- UNT: unit safety (suffix-declared
+  units, no mixed-unit arithmetic);
+* :mod:`~repro.lint.rules.vec` -- VEC: vectorization (the scalar
+  anchor stays reachable when numpy is absent).
+"""
+
+from repro.lint.rules import cry, err, sim, unt, vec
+
+__all__ = ["cry", "err", "sim", "unt", "vec"]

@@ -1,0 +1,223 @@
+"""CRY: crypto hygiene -- constant-time compares, confined entropy, no
+key material in reprs.
+
+The audit threat model has the TPA verifying MAC tags supplied by a
+potentially adversarial provider: a short-circuiting ``==`` on tag
+bytes is a textbook timing oracle.  Likewise, OS entropy ingested
+outside the crypto substrate silently breaks replayability, and key
+bytes surfacing in ``repr``/``to_dict`` end up in logs and JSON
+reports shipped off-box.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import ClassVar, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import (
+    FileContext,
+    Rule,
+    dotted_name,
+    register,
+    terminal_identifier,
+)
+
+#: Identifiers that denote MAC/digest values.
+_DIGESTY_NAME = re.compile(r"(^|_)(tag|mac|digest|hmac|signature)s?$")
+
+#: Identifiers that denote secret key material.  ``public_*`` is
+#: explicitly not secret (verification keys are meant to be shared).
+_KEYISH_NAME = re.compile(r"(^|_)key$|secret")
+
+
+def _is_keyish(name: str) -> bool:
+    lowered = name.lower().lstrip("_")
+    if lowered.startswith(("public", "pub_")):
+        return False
+    return _KEYISH_NAME.search(lowered) is not None
+
+
+def _looks_like_digest(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in ("digest", "hexdigest")
+    name = terminal_identifier(node)
+    return name is not None and _DIGESTY_NAME.search(name.lower()) is not None
+
+
+@register
+class VariableTimeCompareRule(Rule):
+    """CRY001: digest/tag equality must be constant-time."""
+
+    id: ClassVar[str] = "CRY001"
+    title: ClassVar[str] = "compare MACs/digests with hmac.compare_digest"
+    rationale: ClassVar[str] = (
+        "The TPA verifies provider-supplied proofs; bytes == bytes "
+        "short-circuits on the first mismatching byte, handing an "
+        "adversarial prover a timing oracle on the expected tag.  Any "
+        "equality over a MAC/tag/digest/signature value must go "
+        "through hmac.compare_digest (see crypto/mac.py), which "
+        "compares in constant time regardless of where the bytes "
+        "differ."
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Compare):
+            return
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        # `tag is None` / `tag == None`-style null checks are not
+        # byte comparisons; only flag when no operand is a None literal.
+        if any(
+            isinstance(operand, ast.Constant) and operand.value is None
+            for operand in operands
+        ):
+            return
+        if any(_looks_like_digest(operand) for operand in operands):
+            yield self.finding(
+                ctx,
+                node,
+                "variable-time == on a MAC/digest value; use "
+                "hmac.compare_digest(expected, got)",
+            )
+
+
+@register
+class EntropyScopeRule(Rule):
+    """CRY002: OS entropy only inside the crypto substrate."""
+
+    id: ClassVar[str] = "CRY002"
+    title: ClassVar[str] = "secrets/os.urandom confined to repro.crypto"
+    rationale: ClassVar[str] = (
+        "Real entropy is ingested in exactly one layer -- repro.crypto "
+        "(e.g. Schnorr keygen) -- so everything above it stays "
+        "deterministic and replayable from seeds.  secrets.*, "
+        "os.urandom, uuid.uuid4 or random.SystemRandom anywhere else "
+        "makes a simulation result unreproducible in a way no seed "
+        "can fix; derive randomness from DeterministicRNG instead."
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        is_entropy = (
+            dotted.startswith("secrets.")
+            or dotted in ("os.urandom", "uuid.uuid4")
+            or dotted.endswith("SystemRandom")
+        )
+        if not is_entropy:
+            return
+        if ctx.in_package("repro.crypto"):
+            return
+        yield self.finding(
+            ctx,
+            node,
+            f"{dotted}() ingests OS entropy outside repro.crypto; use "
+            f"DeterministicRNG so the run replays from its seed",
+        )
+
+
+@register
+class KeyMaterialExposureRule(Rule):
+    """CRY003: key material must not leak into __repr__/to_dict."""
+
+    id: ClassVar[str] = "CRY003"
+    title: ClassVar[str] = "no key material in reprs or serialized dicts"
+    rationale: ClassVar[str] = (
+        "repr() output lands in logs, pytest failure messages and "
+        "tracebacks; to_dict() payloads are written to JSON report "
+        "artifacts.  A dataclass field holding key material gets an "
+        "auto-generated __repr__ that prints the key bytes verbatim "
+        "unless the field is declared field(repr=False).  Flags "
+        "key-named dataclass fields without repr=False, and "
+        "__repr__/__str__/to_dict bodies that read key-named "
+        "attributes or emit key-named dict entries."
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.ClassDef):
+            return
+        if self._is_dataclass(node):
+            yield from self._check_fields(node, ctx)
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef) and item.name in (
+                "__repr__",
+                "__str__",
+                "to_dict",
+            ):
+                yield from self._check_exposer(item, ctx)
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = dotted_name(target) or ""
+            if dotted.split(".")[-1] == "dataclass":
+                return True
+        return False
+
+    def _check_fields(
+        self, node: ast.ClassDef, ctx: FileContext
+    ) -> Iterator[Finding]:
+        for item in node.body:
+            if not (
+                isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)
+            ):
+                continue
+            name = item.target.id
+            if not _is_keyish(name):
+                continue
+            if not self._field_hides_repr(item.value):
+                yield self.finding(
+                    ctx,
+                    item,
+                    f"dataclass field {name!r} holds key material but is "
+                    f"included in the auto-generated __repr__; declare it "
+                    f"field(repr=False)",
+                )
+
+    @staticmethod
+    def _field_hides_repr(value: ast.AST | None) -> bool:
+        if not (isinstance(value, ast.Call) and dotted_name(value.func)):
+            return False
+        if (dotted_name(value.func) or "").split(".")[-1] != "field":
+            return False
+        for kw in value.keywords:
+            if kw.arg == "repr" and isinstance(kw.value, ast.Constant):
+                return kw.value.value is False
+        return False
+
+    def _check_exposer(
+        self, func: ast.FunctionDef, ctx: FileContext
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Attribute) and _is_keyish(sub.attr):
+                yield self.finding(
+                    ctx,
+                    sub,
+                    f"{func.name}() reads key material attribute "
+                    f"{sub.attr!r}; keys must not be rendered or "
+                    f"serialized",
+                )
+            elif isinstance(sub, ast.Dict):
+                for key in sub.keys:
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and _is_keyish(key.value)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            key,
+                            f"{func.name}() emits dict entry "
+                            f"{key.value!r}; key material must not be "
+                            f"serialized",
+                        )

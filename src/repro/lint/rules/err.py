@@ -1,0 +1,99 @@
+"""ERR: error policy -- validation failures speak repro's language.
+
+Every error the library raises derives from :class:`repro.errors.
+ReproError`, so callers (CLI subcommands, the fleet, benchmark gates)
+can map "bad configuration" to exit code 2 with one except clause.
+PR 6 shipped ``GF256.pow`` raising an opaque ``TypeError`` on a
+non-int exponent and it had to be hot-fixed to ``ConfigurationError``;
+these rules mechanize that bug class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+#: Builtin exceptions that public-API validation must not raise.
+#: ZeroDivisionError is deliberately absent: GF256/Poly mirror int
+#: division semantics.  AttributeError is absent: the module
+#: ``__getattr__`` protocol requires it.  NotImplementedError marks
+#: abstract hooks, not validation.
+_BANNED_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "Exception",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "RuntimeError",
+        "TypeError",
+        "ValueError",
+    }
+)
+
+
+@register
+class BuiltinRaiseRule(Rule):
+    """ERR001: validation raises ConfigurationError, not builtins."""
+
+    id: ClassVar[str] = "ERR001"
+    title: ClassVar[str] = "raise the repro error hierarchy, not builtins"
+    rationale: ClassVar[str] = (
+        "Library errors derive from ReproError so the CLI and "
+        "benchmark gates can translate bad inputs to exit code 2 "
+        "uniformly; a bare ValueError/TypeError escapes that mapping "
+        "and surfaces as an opaque crash (the PR 6 GF256.pow bug).  "
+        "Raise ConfigurationError for invalid parameters, or the "
+        "matching domain error (DecodingError, ProtocolError, "
+        "StorageError, SimulationError...) otherwise."
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Raise,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Raise):
+            return
+        if not ctx.in_src:
+            return
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in _BANNED_EXCEPTIONS:
+            yield self.finding(
+                ctx,
+                node,
+                f"raise {exc.id} in library code; raise "
+                f"ConfigurationError (or the matching ReproError "
+                f"subclass) so callers can map it to exit code 2",
+            )
+
+
+@register
+class AssertValidationRule(Rule):
+    """ERR002: no assert-based validation in library code."""
+
+    id: ClassVar[str] = "ERR002"
+    title: ClassVar[str] = "assert is not validation"
+    rationale: ClassVar[str] = (
+        "assert statements vanish under python -O, so an invariant "
+        "they guard silently stops being checked in optimized "
+        "deployments -- unacceptable for a library whose guarantees "
+        "are probabilistic detection bounds.  Validate explicitly and "
+        "raise ConfigurationError (tests are free to assert; this "
+        "rule only scans library code under src/)."
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Assert,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Assert):
+            return
+        if not ctx.in_src:
+            return
+        yield self.finding(
+            ctx,
+            node,
+            "assert used for validation in library code; asserts "
+            "disappear under python -O -- raise ConfigurationError",
+        )

@@ -1,0 +1,233 @@
+"""UNT: unit safety -- quantities carry their unit in their name.
+
+The codebase's defence against ms/seconds/km confusion is lexical:
+``now_ms``, ``setup_seconds``, ``distance_km``.  It works only if it is
+universal -- one bare ``timeout`` is where the next unit bug hides.
+UNT001 makes the convention mandatory for time/distance-valued names;
+UNT002 flags arithmetic that mixes two *different* declared units
+without an explicit conversion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register, terminal_identifier
+
+#: Name roots that denote a time- or distance-valued quantity.
+_UNIT_BEARING_ROOTS = (
+    "deadline",
+    "delay",
+    "distance",
+    "duration",
+    "elapsed",
+    "latency",
+    "radius",
+    "rtt",
+    "timeout",
+)
+
+#: Recognised unit suffixes.  Beyond time/distance this includes the
+#: repo's discrete units (bytes, blocks, slots, bits) so names like
+#: ``radius_blocks`` (RS correction radius) read as declared, and
+#: dimensionless markers (frac/ratio) for normalised quantities.
+_UNIT_SUFFIXES = (
+    "_ms",
+    "_us",
+    "_ns",
+    "_s",
+    "_sec",
+    "_secs",
+    "_seconds",
+    "_min",
+    "_mins",
+    "_minutes",
+    "_hr",
+    "_hrs",
+    "_hours",
+    "_days",
+    "_km",
+    "_m",
+    "_metres",
+    "_meters",
+    "_bytes",
+    "_bits",
+    "_blocks",
+    "_segments",
+    "_slots",
+    "_rounds",
+    "_deg",
+    "_degrees",
+    "_usd",
+    "_frac",
+    "_fraction",
+    "_ratio",
+    "_pct",
+)
+
+#: suffix (no underscore) -> canonical unit, grouped by dimension.
+_TIME_UNITS = {
+    "ms": "ms",
+    "us": "us",
+    "ns": "ns",
+    "s": "seconds",
+    "sec": "seconds",
+    "secs": "seconds",
+    "seconds": "seconds",
+    "min": "minutes",
+    "mins": "minutes",
+    "minutes": "minutes",
+    "hr": "hours",
+    "hrs": "hours",
+    "hours": "hours",
+    "days": "days",
+}
+_DISTANCE_UNITS = {
+    "km": "km",
+    "m": "m",
+    "metres": "m",
+    "meters": "m",
+}
+
+
+def _missing_unit(name: str) -> str | None:
+    """The offending root when ``name`` needs a unit suffix, else None."""
+    lowered = name.lower().lstrip("_")
+    if any(
+        lowered.endswith(suffix) or lowered == suffix[1:]
+        for suffix in _UNIT_SUFFIXES
+    ):
+        return None
+    for root in _UNIT_BEARING_ROOTS:
+        if lowered == root or lowered.endswith("_" + root):
+            return root
+    return None
+
+
+def _declared_unit(node: ast.AST) -> tuple[str, str] | None:
+    """(dimension, unit) declared by a name-like operand's suffix."""
+    name = terminal_identifier(node)
+    if name is None or "_" not in name:
+        return None
+    suffix = name.lower().rsplit("_", 1)[1]
+    if suffix in _TIME_UNITS:
+        return ("time", _TIME_UNITS[suffix])
+    if suffix in _DISTANCE_UNITS:
+        return ("distance", _DISTANCE_UNITS[suffix])
+    return None
+
+
+def _units_conflict(a: ast.AST, b: ast.AST) -> tuple[str, str] | None:
+    left, right = _declared_unit(a), _declared_unit(b)
+    if left is None or right is None:
+        return None
+    if left[0] == right[0] and left[1] != right[1]:
+        return (left[1], right[1])
+    return None
+
+
+@register
+class UnitSuffixRule(Rule):
+    """UNT001: time/distance-valued names declare their unit."""
+
+    id: ClassVar[str] = "UNT001"
+    title: ClassVar[str] = "time/distance names carry a unit suffix"
+    rationale: ClassVar[str] = (
+        "Every simulated quantity crosses several layers (netsim -> "
+        "lanes -> fleet -> report); the unit suffix is the only thing "
+        "that travels with it.  A binding named rtt/delay/distance/... "
+        "must say its unit (rtt_ms, delay_ms, distance_km, "
+        "radius_blocks, timeout_slots...).  Applies to assignments, "
+        "parameters and dataclass fields -- the places a unit gets "
+        "*declared* -- not to reads."
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (
+        ast.Assign,
+        ast.AnnAssign,
+        ast.arg,
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        for name, anchor in self._declared_names(node):
+            root = _missing_unit(name)
+            if root is not None:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"{name!r} is {root}-valued but declares no unit; "
+                    f"suffix it (_ms, _seconds, _km, _blocks, ...)",
+                )
+
+    @staticmethod
+    def _declared_names(node: ast.AST) -> list[tuple[str, ast.AST]]:
+        if isinstance(node, ast.arg):
+            if node.arg in ("self", "cls"):
+                return []
+            return [(node.arg, node)]
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        names: list[tuple[str, ast.AST]] = []
+        for target in targets:
+            elements = target.elts if isinstance(target, ast.Tuple) else [target]
+            for element in elements:
+                if isinstance(element, ast.Name):
+                    names.append((element.id, element))
+                elif isinstance(element, ast.Attribute):
+                    names.append((element.attr, element))
+        return names
+
+
+@register
+class MixedUnitArithmeticRule(Rule):
+    """UNT002: no +/-/comparison across different declared units."""
+
+    id: ClassVar[str] = "UNT002"
+    title: ClassVar[str] = "no arithmetic mixing _ms with _seconds"
+    rationale: ClassVar[str] = (
+        "Adding or comparing a _ms name to a _seconds/_hours name (or "
+        "_km to _m) is almost always a missing conversion -- the class "
+        "of bug unit suffixes exist to prevent.  Convert explicitly "
+        "(seconds * 1000.0) so the factor is visible at the use site; "
+        "multiplication/division are exempt because that is what a "
+        "conversion looks like."
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (
+        ast.BinOp,
+        ast.Compare,
+        ast.Assign,
+        ast.AnnAssign,
+        ast.AugAssign,
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        pairs: list[tuple[ast.AST, ast.AST]] = []
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                pairs.append((node.left, node.right))
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            pairs.extend(zip(operands, operands[1:]))
+        elif isinstance(node, ast.Assign):
+            pairs.extend((target, node.value) for target in node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                pairs.append((node.target, node.value))
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                pairs.append((node.target, node.value))
+        for left, right in pairs:
+            conflict = _units_conflict(left, right)
+            if conflict is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"mixes {conflict[0]} with {conflict[1]} without an "
+                    f"explicit conversion; convert one side "
+                    f"(e.g. seconds * 1000.0 -> ms)",
+                )
+                return

@@ -1,0 +1,106 @@
+"""VEC: the scalar path is the semantics anchor -- keep it reachable.
+
+The vectorized GF(256) data plane is an optional extra: numpy may be
+absent (the CI scalar-fallback lane proves it), and the pure-Python
+scalar path is the byte-identical reference every equivalence sweep
+pins against.  A ``HAS_NUMPY``-guarded branch with no reachable
+fallback silently returns ``None`` or skips work on scalar-only
+installs -- exactly the failure mode the capability-flag pattern is
+supposed to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+
+def _polarity(test: ast.AST) -> str | None:
+    """'positive'/'negative' when ``test`` references HAS_NUMPY.
+
+    ``if HAS_NUMPY`` / ``if x and HAS_NUMPY`` are positive (the body is
+    the numpy path); ``if not HAS_NUMPY`` (any nesting under a Not) is
+    negative (the body handles numpy's absence).
+    """
+    found: str | None = None
+
+    def walk(node: ast.AST, negated: bool) -> None:
+        nonlocal found
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            walk(node.operand, not negated)
+            return
+        is_flag = (isinstance(node, ast.Name) and node.id == "HAS_NUMPY") or (
+            isinstance(node, ast.Attribute) and node.attr == "HAS_NUMPY"
+        )
+        if is_flag:
+            found = "negative" if negated else "positive"
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child, negated)
+
+    walk(test, False)
+    return found
+
+
+@register
+class ScalarFallbackRule(Rule):
+    """VEC001: HAS_NUMPY branches keep a reachable scalar path."""
+
+    id: ClassVar[str] = "VEC001"
+    title: ClassVar[str] = "HAS_NUMPY guards must leave a scalar fallback"
+    rationale: ClassVar[str] = (
+        "numpy is the optional [fast] extra; the scalar path is both "
+        "the fallback on plain installs and the byte-identical "
+        "reference the vectorized kernels are equivalence-tested "
+        "against.  An `if HAS_NUMPY:` with no else and nothing after "
+        "it silently does nothing when numpy is absent, and an "
+        "`if not HAS_NUMPY:` that neither raises ConfigurationError "
+        "nor returns a value silently skips the work.  Either provide "
+        "the scalar branch or fail loudly."
+    )
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.If,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.If):
+            return
+        polarity = _polarity(node.test)
+        if polarity is None:
+            return
+        if polarity == "positive":
+            if node.orelse:
+                return
+            body = ctx.enclosing_body(node)
+            # With statements following the guard, the fall-through IS
+            # the scalar path; a trailing guard has no fallback at all.
+            if body is not None and body[-1] is node:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "HAS_NUMPY-guarded branch has no else and nothing "
+                    "follows it: when numpy is absent this silently "
+                    "falls through; add the scalar fallback or raise "
+                    "ConfigurationError",
+                )
+        else:
+            if self._fails_loudly(node.body):
+                return
+            yield self.finding(
+                ctx,
+                node,
+                "`if not HAS_NUMPY:` branch neither raises nor returns "
+                "a value: numpy's absence silently skips work; raise "
+                "ConfigurationError or return the scalar result",
+            )
+
+    @staticmethod
+    def _fails_loudly(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Raise):
+                    return True
+                if isinstance(sub, ast.Return) and sub.value is not None:
+                    return True
+        return False

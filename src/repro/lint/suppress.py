@@ -1,0 +1,85 @@
+"""Inline pragma suppressions: ``repro: lint-ok`` comments.
+
+A suppression is a comment of the form ``# repro: lint-ok[SIM001] --
+justification`` (this docstring avoids spelling out the generic
+placeholder form because the scanner is line-based and validates every
+pragma-shaped line it sees, docstrings included).
+
+A pragma silences findings for the named rule(s) on its own physical
+line; a pragma on a *standalone* comment line also covers the line
+immediately below it (for lines too long to carry a trailing comment).
+Rule names may be exact ids (``SIM001``) or a bare family (``SIM``).
+The text after the closing bracket is the human justification; the
+engine carries it into reports so every exemption stays reviewable.
+
+Pragmas naming unknown rules are configuration errors rather than
+silent no-ops -- a typo'd pragma that "works" is worse than a failing
+lint run.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*lint-ok\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*"
+    r"(?:--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    #: True when the pragma is the whole line (covers the next line too).
+    standalone: bool
+
+    def covers(self, line: int) -> bool:
+        return line == self.line or (self.standalone and line == self.line + 1)
+
+    def matches(self, rule_id: str) -> bool:
+        family = rule_id.rstrip("0123456789")
+        return any(token in (rule_id, family) for token in self.rules)
+
+
+def scan_pragmas(
+    lines: tuple[str, ...],
+    *,
+    known_rules: set[str],
+    known_families: set[str],
+    relpath: str,
+) -> list[Pragma]:
+    """Parse every ``lint-ok`` pragma in a file, validating rule names."""
+    pragmas: list[Pragma] = []
+    for lineno, raw in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(raw)
+        if match is None:
+            continue
+        tokens = tuple(
+            token.strip() for token in match.group("rules").split(",") if token.strip()
+        )
+        if not tokens:
+            raise ConfigurationError(
+                f"{relpath}:{lineno}: empty lint-ok pragma"
+            )
+        for token in tokens:
+            if token not in known_rules and token not in known_families:
+                raise ConfigurationError(
+                    f"{relpath}:{lineno}: lint-ok names unknown rule "
+                    f"{token!r}; known rules: {', '.join(sorted(known_rules))}"
+                )
+        pragmas.append(
+            Pragma(
+                line=lineno,
+                rules=tokens,
+                justification=(match.group("why") or "").strip(),
+                standalone=raw.strip().startswith("#"),
+            )
+        )
+    return pragmas

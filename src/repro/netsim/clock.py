@@ -56,7 +56,7 @@ class SimClock:
             self.start_ms = self._clock.now_ms()
             return self
 
-        def __exit__(self, *exc_info) -> None:
+        def __exit__(self, *exc_info: object) -> None:
             self.elapsed_ms = self._clock.now_ms() - self.start_ms
 
     def stopwatch(self) -> "SimClock._Stopwatch":

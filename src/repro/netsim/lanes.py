@@ -101,10 +101,10 @@ class LaneClock(SimClock):
             raise SimulationError(
                 f"lane {self.name!r} has no open busy interval"
             )
-        elapsed = self.now_ms() - self._busy_since
-        self.busy_ms += elapsed
+        elapsed_ms = self.now_ms() - self._busy_since
+        self.busy_ms += elapsed_ms
         self._busy_since = None
-        return elapsed
+        return elapsed_ms
 
 
 #: Work dispatched onto a lane: runs synchronously on the lane's clock,

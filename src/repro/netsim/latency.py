@@ -205,10 +205,10 @@ class RFChannelModel(LatencyModel):
     ) -> float:
         if distance_km < 0:
             raise ConfigurationError(f"distance must be >= 0, got {distance_km}")
-        delay = distance_km / self.propagation_speed_km_per_ms + self.processing_delay_ms
+        delay_ms = distance_km / self.propagation_speed_km_per_ms + self.processing_delay_ms
         if rng is not None and self.jitter_ms > 0:
-            delay += rng.expovariate(1.0 / self.jitter_ms)
-        return delay
+            delay_ms += rng.expovariate(1.0 / self.jitter_ms)
+        return delay_ms
 
 
 def timing_error_to_distance_km(error_ms: float) -> float:

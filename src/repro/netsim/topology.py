@@ -83,10 +83,10 @@ class NetworkTopology:
             if name not in self._nodes:
                 raise ConfigurationError(f"unknown node {name!r}")
         if latency_ms is None:
-            distance = haversine_km(
+            distance_km = haversine_km(
                 self._nodes[a].position, self._nodes[b].position
             )
-            latency_ms = inflation * distance / FIBRE_SPEED_KM_PER_MS
+            latency_ms = inflation * distance_km / FIBRE_SPEED_KM_PER_MS
         if latency_ms < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency_ms}")
         link = Link(a=a, b=b, latency_ms=latency_ms, jitter_ms=jitter_ms)

@@ -74,8 +74,8 @@ def traceroute(
     hops: list[TracerouteHop] = []
     for i in range(1, len(path)):
         prefix = path[: i + 1]
-        rtt = topology.path_latency_ms(prefix, rng) + topology.path_latency_ms(
+        rtt_ms = topology.path_latency_ms(prefix, rng) + topology.path_latency_ms(
             prefix, rng
         )
-        hops.append(TracerouteHop(hop=i, node=path[i], rtt_ms=rtt))
+        hops.append(TracerouteHop(hop=i, node=path[i], rtt_ms=rtt_ms))
     return hops

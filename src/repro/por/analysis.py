@@ -116,32 +116,32 @@ def _log_binomial_pmf(k: int, n: int, p: float) -> float:
 
 
 def chunk_failure_probability(
-    n: int, correction_radius: int, epsilon: float
+    n: int, correction_radius_blocks: int, epsilon: float
 ) -> float:
     """Probability one RS chunk is unrecoverable under random corruption.
 
     Each of the chunk's ``n`` blocks is independently corrupted with
     probability ``epsilon``; the chunk fails when more than
-    ``correction_radius`` blocks are hit.  Binomial upper tail, exact
+    ``correction_radius_blocks`` blocks are hit.  Binomial upper tail, exact
     summation in log space.
     """
-    if not 0 <= correction_radius <= n:
+    if not 0 <= correction_radius_blocks <= n:
         raise ConfigurationError(
-            f"correction_radius must be in [0, {n}], got {correction_radius}"
+            f"correction_radius_blocks must be in [0, {n}], got {correction_radius_blocks}"
         )
     check_probability("epsilon", epsilon)
     if epsilon == 0.0:
         return 0.0
     if epsilon == 1.0:
-        return 1.0 if correction_radius < n else 0.0
+        return 1.0 if correction_radius_blocks < n else 0.0
     tail = 0.0
-    for k in range(correction_radius + 1, n + 1):
+    for k in range(correction_radius_blocks + 1, n + 1):
         tail += math.exp(_log_binomial_pmf(k, n, epsilon))
     return min(tail, 1.0)
 
 
 def file_irretrievability_probability(
-    n_chunks: int, n: int, correction_radius: int, epsilon: float
+    n_chunks: int, n: int, correction_radius_blocks: int, epsilon: float
 ) -> float:
     """Union bound on whole-file loss across ``n_chunks`` chunks.
 
@@ -149,7 +149,7 @@ def file_irretrievability_probability(
     below the quoted 1/200,000 (the JK bound is loose by design).
     """
     check_positive("n_chunks", n_chunks)
-    per_chunk = chunk_failure_probability(n, correction_radius, epsilon)
+    per_chunk = chunk_failure_probability(n, correction_radius_blocks, epsilon)
     # 1 - (1 - p)^m computed stably; also provide the union bound cap.
     exact = -math.expm1(n_chunks * math.log1p(-per_chunk)) if per_chunk < 1 else 1.0
     return min(exact, n_chunks * per_chunk, 1.0)

@@ -19,7 +19,7 @@ chunk are bad, the original file comes back bit-exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.aes import aes_ctr_decrypt, aes_ctr_encrypt
 from repro.crypto.kdf import derive_subkeys
@@ -46,9 +46,11 @@ class PORKeys:
         "the TPA knows the secret key used to verify the MAC tags").
     """
 
-    encryption_key: bytes
-    permutation_key: bytes
-    mac_key: bytes
+    # repr=False on all three: key bytes must never surface in logs,
+    # tracebacks or pytest failure output (CRY003).
+    encryption_key: bytes = field(repr=False)
+    permutation_key: bytes = field(repr=False)
+    mac_key: bytes = field(repr=False)
 
     @classmethod
     def derive(cls, master_key: bytes) -> "PORKeys":

@@ -1,0 +1,159 @@
+"""Baseline semantics: absorb, expire, scope, and update."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import Baseline, BaselineEntry, run_lint, update_baseline
+
+from tests.lint.conftest import SRC
+
+pytestmark = pytest.mark.lint
+
+BAD = "import time\nstamp = time.time()\n"
+GOOD = "def tick(clock):\n    return clock.now_ms()\n"
+
+
+def entry_for(finding, justification="vetted"):
+    return BaselineEntry(
+        rule=finding.rule,
+        path=finding.path,
+        snippet=finding.snippet,
+        justification=justification,
+        line=finding.line,
+    )
+
+
+class TestApply:
+    def test_matching_entry_absorbs_finding(self, lint_tree):
+        first = lint_tree({SRC: BAD})
+        baseline = Baseline((entry_for(first.findings[0]),))
+        report = lint_tree({}, baseline=baseline)
+        assert report.ok
+        assert report.findings == []
+        assert report.n_baselined == 1
+        assert report.stale_baseline == []
+
+    def test_entry_survives_line_drift(self, lint_tree):
+        first = lint_tree({SRC: BAD})
+        baseline = Baseline((entry_for(first.findings[0]),))
+        # Same offending line, pushed two lines down: still absorbed.
+        report = lint_tree(
+            {SRC: "import time\npad_ms = 1\npad2_ms = 2\nstamp = time.time()\n"},
+            baseline=baseline,
+        )
+        assert report.ok
+        assert report.n_baselined == 1
+
+    def test_stale_entry_fails_the_run(self, lint_tree):
+        first = lint_tree({SRC: BAD})
+        matching = entry_for(first.findings[0])
+        bogus = BaselineEntry(
+            rule="SIM001",
+            path=first.findings[0].path,
+            snippet="this_line_was_fixed = time.time()",
+            justification="stale",
+        )
+        report = lint_tree({}, baseline=Baseline((matching, bogus)))
+        assert not report.ok
+        assert report.findings == []
+        assert report.stale_baseline == [bogus]
+        assert "stale" in report.render()
+
+    def test_one_entry_absorbs_only_one_duplicate(self, lint_tree):
+        # Two identical offending lines -> two findings, one entry.
+        first = lint_tree({SRC: BAD + "stamp = time.time()\n"})
+        assert len(first.findings) == 2
+        baseline = Baseline((entry_for(first.findings[0]),))
+        report = lint_tree({}, baseline=baseline)
+        assert len(report.findings) == 1
+        assert report.n_baselined == 1
+
+    def test_unscanned_path_is_out_of_scope_not_stale(
+        self, lint_tree, tmp_path
+    ):
+        lint_tree({SRC: GOOD})
+        elsewhere = BaselineEntry(
+            rule="SIM001",
+            path="somewhere/else.py",
+            snippet="stamp = time.time()",
+            justification="different subtree",
+        )
+        report = run_lint(
+            (str(tmp_path),), baseline=Baseline((elsewhere,))
+        )
+        assert report.ok
+        assert report.stale_baseline == []
+
+    def test_unselected_rule_is_out_of_scope_not_stale(self, lint_tree):
+        first = lint_tree({SRC: BAD})
+        baseline = Baseline((entry_for(first.findings[0]),))
+        # Scanning only CRY leaves the SIM001 entry unjudged.
+        report = lint_tree({}, rule_ids=("CRY",), baseline=baseline)
+        assert report.ok
+        assert report.stale_baseline == []
+
+
+class TestLoadSave:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entry = BaselineEntry(
+            rule="SIM001", path="a.py", snippet="x", justification="why", line=3
+        )
+        Baseline((entry,)).save(path)
+        assert Baseline.load(path).entries == (entry,)
+
+    def test_malformed_json_is_configuration_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_wrong_version_is_configuration_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ConfigurationError, match="version"):
+            Baseline.load(path)
+
+    def test_entry_missing_keys_is_configuration_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": [{"rule": "SIM001"}]})
+        )
+        with pytest.raises(ConfigurationError, match="entry 0"):
+            Baseline.load(path)
+
+
+class TestUpdate:
+    def test_update_records_current_findings(self, lint_tree, tmp_path):
+        lint_tree({SRC: BAD})
+        baseline_path = tmp_path / "baseline.json"
+        refreshed = update_baseline((str(tmp_path),), baseline_path)
+        assert len(refreshed.entries) == 1
+        assert refreshed.entries[0].rule == "SIM001"
+        assert refreshed.entries[0].justification == "TODO: justify"
+        report = run_lint(
+            (str(tmp_path),), baseline=Baseline.load(baseline_path)
+        )
+        assert report.ok
+
+    def test_update_preserves_surviving_justifications(
+        self, lint_tree, tmp_path
+    ):
+        lint_tree({SRC: BAD})
+        baseline_path = tmp_path / "baseline.json"
+        update_baseline((str(tmp_path),), baseline_path)
+        payload = json.loads(baseline_path.read_text())
+        payload["entries"][0]["justification"] = "reviewed 2026-08"
+        baseline_path.write_text(json.dumps(payload))
+        refreshed = update_baseline((str(tmp_path),), baseline_path)
+        assert refreshed.entries[0].justification == "reviewed 2026-08"
+
+    def test_update_drops_fixed_findings(self, lint_tree, tmp_path):
+        lint_tree({SRC: BAD})
+        baseline_path = tmp_path / "baseline.json"
+        update_baseline((str(tmp_path),), baseline_path)
+        lint_tree({SRC: GOOD})  # the violation is fixed
+        refreshed = update_baseline((str(tmp_path),), baseline_path)
+        assert refreshed.entries == ()

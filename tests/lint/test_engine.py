@@ -1,0 +1,116 @@
+"""Engine plumbing: discovery, registry resolution, module mapping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import RULES, discover_files, get_rule, resolve_rules, run_lint
+from repro.lint.registry import module_name_for
+
+from tests.lint.conftest import SRC
+
+pytestmark = pytest.mark.lint
+
+
+class TestRegistry:
+    def test_all_rule_families_registered(self):
+        families = {rule_id.rstrip("0123456789") for rule_id in RULES}
+        assert families == {"SIM", "CRY", "ERR", "UNT", "VEC"}
+
+    def test_every_rule_has_explainable_metadata(self):
+        for rule in RULES.values():
+            assert rule.id and rule.title and rule.rationale
+            assert rule.node_types
+
+    def test_resolve_family_expands_to_members(self):
+        selected = resolve_rules(("SIM",))
+        assert set(selected) == {"SIM001", "SIM002"}
+
+    def test_resolve_exact_id(self):
+        assert set(resolve_rules(("CRY001",))) == {"CRY001"}
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown lint rule"):
+            resolve_rules(("BOGUS",))
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown lint rule"):
+            get_rule("BOGUS")
+
+
+class TestDiscovery:
+    def test_overlapping_args_deduplicate(self, tmp_path):
+        target = tmp_path / SRC
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")
+        files = discover_files((str(tmp_path), str(target)))
+        assert len(files) == 1
+
+    def test_non_python_file_rejected(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello")
+        with pytest.raises(ConfigurationError, match="not a python file"):
+            discover_files((str(target),))
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(ConfigurationError, match="no paths"):
+            discover_files(())
+
+    def test_n_files_counts_scanned_files(self, lint_tree):
+        report = lint_tree(
+            {SRC: "x = 1\n", "src/repro/demo/other.py": "y = 2\n"}
+        )
+        assert report.n_files == 2
+
+
+class TestModuleMapping:
+    def test_src_file_maps_to_dotted_module(self):
+        assert (
+            module_name_for("src/repro/netsim/clock.py")
+            == "repro.netsim.clock"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_for("src/repro/crypto/__init__.py") == "repro.crypto"
+
+    def test_tmp_tree_behaves_like_real_layout(self):
+        assert (
+            module_name_for("/tmp/pytest-1/src/repro/demo/mod.py")
+            == "repro.demo.mod"
+        )
+
+    def test_non_src_path_is_script(self):
+        assert module_name_for("benchmarks/bench_rs.py") is None
+
+
+class TestReport:
+    def test_render_summarises_counts(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import time\n"
+                  "stamp = time.time()\n"
+                  "ok = time.time()  # repro: lint-ok[SIM001] -- fixture\n"}
+        )
+        rendered = report.render()
+        assert "1 finding(s)" in rendered
+        assert "1 pragma-suppressed" in rendered
+        assert "SIM001" in rendered
+
+    def test_findings_sorted_by_position(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import time\n"
+                  "timeout = 1\n"
+                  "stamp = time.time()\n"}
+        )
+        assert [f.rule for f in report.findings] == ["UNT001", "SIM001"]
+        assert [f.line for f in report.findings] == [2, 3]
+
+    def test_rule_subset_recorded_in_report(self, lint_tree):
+        report = lint_tree({SRC: "x = 1\n"}, rule_ids=("ERR", "VEC001"))
+        assert report.rules == ("ERR001", "ERR002", "VEC001")
+
+
+class TestUnreadableInput:
+    def test_syntax_error_is_configuration_error(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text("def broken(:\n")
+        with pytest.raises(ConfigurationError, match="syntax error"):
+            run_lint((str(target),))

@@ -1,0 +1,46 @@
+"""Regression tests for violations the lint sweep fixed.
+
+These pin the *behavioral* outcome of the CRY003 fixes: key material
+must not surface in reprs regardless of what the linter says.
+"""
+
+import pytest
+
+from repro.cloud.sla import SLAPolicy
+from repro.cloud.tpa import FileRecord
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import CircularRegion
+from repro.por.parameters import TEST_PARAMS
+from repro.por.setup import PORKeys
+
+pytestmark = pytest.mark.lint
+
+
+class TestKeyReprHygiene:
+    def test_por_keys_repr_hides_all_keys(self):
+        keys = PORKeys.derive(b"master-key-0123456789abcdef")
+        rendered = repr(keys)
+        for secret in (
+            keys.encryption_key,
+            keys.permutation_key,
+            keys.mac_key,
+        ):
+            assert repr(secret) not in rendered
+            assert secret.hex() not in rendered
+        assert "encryption_key" not in rendered
+
+    def test_file_record_repr_hides_mac_key(self):
+        record = FileRecord(
+            file_id=b"f1",
+            n_segments=4,
+            mac_key=b"super-secret-mac-key-bytes",
+            params=TEST_PARAMS,
+            sla=SLAPolicy(
+                region=CircularRegion(GeoPoint(-27.5, 153.0), 100.0)
+            ),
+        )
+        rendered = repr(record)
+        assert "super-secret" not in rendered
+        assert "mac_key" not in rendered
+        # Non-secret fields still render normally.
+        assert "n_segments=4" in rendered

@@ -1,0 +1,131 @@
+"""CRY rules: constant-time compares, entropy scope, key exposure."""
+
+import pytest
+
+from tests.lint.conftest import SCRIPT, SRC, rule_ids_of
+
+pytestmark = pytest.mark.lint
+
+CRYPTO = "src/repro/crypto/demo.py"
+
+
+class TestCRY001VariableTimeCompare:
+    def test_tag_equality_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def check(tag, expected):\n    return tag == expected\n"}
+        )
+        assert rule_ids_of(report) == ["CRY001"]
+        assert "compare_digest" in report.findings[0].message
+
+    def test_digest_call_equality_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def check(h, want):\n    return h.digest() == want\n"}
+        )
+        assert rule_ids_of(report) == ["CRY001"]
+
+    def test_signature_inequality_flagged(self, lint_tree):
+        report = lint_tree(
+            {SCRIPT: "def bad(signature, other):\n"
+                     "    return signature != other\n"}
+        )
+        assert rule_ids_of(report) == ["CRY001"]
+
+    def test_none_check_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def absent(tag):\n    return tag == None  # noqa: E711\n"}
+        )
+        assert report.findings == []
+
+    def test_non_digest_equality_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def same(count, want):\n    return count == want\n"}
+        )
+        assert report.findings == []
+
+    def test_compare_digest_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import hmac\n"
+                  "def check(tag, expected):\n"
+                  "    return hmac.compare_digest(tag, expected)\n"}
+        )
+        assert report.findings == []
+
+
+class TestCRY002EntropyScope:
+    def test_secrets_outside_crypto_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import secrets\nnonce = secrets.token_bytes(16)\n"}
+        )
+        assert rule_ids_of(report) == ["CRY002"]
+
+    def test_os_urandom_in_benchmark_flagged(self, lint_tree):
+        report = lint_tree(
+            {SCRIPT: "import os\npayload = os.urandom(64)\n"}
+        )
+        assert rule_ids_of(report) == ["CRY002"]
+
+    def test_uuid4_outside_crypto_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import uuid\nrun_id = uuid.uuid4()\n"}
+        )
+        assert rule_ids_of(report) == ["CRY002"]
+
+    def test_entropy_inside_crypto_allowed(self, lint_tree):
+        report = lint_tree(
+            {CRYPTO: "import os\nseed = os.urandom(32)\n"}
+        )
+        assert report.findings == []
+
+
+class TestCRY003KeyExposure:
+    def test_plain_key_field_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "from dataclasses import dataclass\n"
+                  "@dataclass\n"
+                  "class Keys:\n"
+                  "    mac_key: bytes\n"}
+        )
+        assert rule_ids_of(report) == ["CRY003"]
+        assert "repr=False" in report.findings[0].message
+
+    def test_repr_false_key_field_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "from dataclasses import dataclass, field\n"
+                  "@dataclass\n"
+                  "class Keys:\n"
+                  "    mac_key: bytes = field(repr=False)\n"}
+        )
+        assert report.findings == []
+
+    def test_public_key_field_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "from dataclasses import dataclass\n"
+                  "@dataclass\n"
+                  "class Device:\n"
+                  "    public_key: bytes\n"}
+        )
+        assert report.findings == []
+
+    def test_to_dict_emitting_key_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "class Record:\n"
+                  "    def to_dict(self):\n"
+                  "        return {'mac_key': self.mac_key}\n"}
+        )
+        assert "CRY003" in rule_ids_of(report)
+
+    def test_repr_reading_secret_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "class Vault:\n"
+                  "    def __repr__(self):\n"
+                  "        return f'Vault({self.shared_secret!r})'\n"}
+        )
+        assert "CRY003" in rule_ids_of(report)
+
+    def test_to_dict_without_keys_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "class Report:\n"
+                  "    def to_dict(self):\n"
+                  "        return {'n_files': self.n_files}\n"}
+        )
+        assert report.findings == []

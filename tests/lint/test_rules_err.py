@@ -1,0 +1,75 @@
+"""ERR rules: the error-policy contract (ReproError, no asserts)."""
+
+import pytest
+
+from tests.lint.conftest import SCRIPT, SRC, rule_ids_of
+
+pytestmark = pytest.mark.lint
+
+
+class TestERR001BuiltinRaise:
+    def test_raise_valueerror_in_src_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def check(n):\n"
+                  "    if n < 0:\n"
+                  "        raise ValueError('negative')\n"}
+        )
+        assert rule_ids_of(report) == ["ERR001"]
+        assert "ConfigurationError" in report.findings[0].message
+
+    def test_raise_typeerror_in_src_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def check(n):\n"
+                  "    raise TypeError('bad type')\n"}
+        )
+        assert rule_ids_of(report) == ["ERR001"]
+
+    def test_raise_configurationerror_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "from repro.errors import ConfigurationError\n"
+                  "def check(n):\n"
+                  "    if n < 0:\n"
+                  "        raise ConfigurationError('negative')\n"}
+        )
+        assert report.findings == []
+
+    def test_bare_reraise_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def passthrough(fn):\n"
+                  "    try:\n"
+                  "        return fn()\n"
+                  "    except Exception:\n"
+                  "        raise\n"}
+        )
+        assert report.findings == []
+
+    def test_notimplementederror_allowed(self, lint_tree):
+        # Abstract hooks are not validation.
+        report = lint_tree(
+            {SRC: "class Base:\n"
+                  "    def hook(self):\n"
+                  "        raise NotImplementedError\n"}
+        )
+        assert report.findings == []
+
+    def test_raise_valueerror_in_benchmark_allowed(self, lint_tree):
+        report = lint_tree(
+            {SCRIPT: "def check(n):\n"
+                     "    raise ValueError('scripts may use builtins')\n"}
+        )
+        assert report.findings == []
+
+
+class TestERR002Assert:
+    def test_assert_in_src_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def check(n):\n    assert n > 0\n"}
+        )
+        assert rule_ids_of(report) == ["ERR002"]
+        assert "python -O" in report.findings[0].message
+
+    def test_assert_outside_src_allowed(self, lint_tree):
+        report = lint_tree(
+            {SCRIPT: "def gate(n):\n    assert n > 0\n"}
+        )
+        assert report.findings == []

@@ -1,0 +1,107 @@
+"""UNT rules: unit-suffix naming and mixed-unit arithmetic."""
+
+import pytest
+
+from tests.lint.conftest import SRC, rule_ids_of
+
+pytestmark = pytest.mark.lint
+
+
+class TestUNT001UnitSuffix:
+    def test_bare_timeout_assignment_flagged(self, lint_tree):
+        report = lint_tree({SRC: "timeout = 5\n"})
+        assert rule_ids_of(report) == ["UNT001"]
+        assert "timeout" in report.findings[0].message
+
+    def test_bare_delay_parameter_flagged(self, lint_tree):
+        report = lint_tree({SRC: "def wait(delay):\n    return delay\n"})
+        assert rule_ids_of(report) == ["UNT001"]
+
+    def test_bare_attribute_assignment_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "class Probe:\n"
+                  "    def __init__(self):\n"
+                  "        self.rtt = 0.0\n"}
+        )
+        assert rule_ids_of(report) == ["UNT001"]
+
+    def test_tuple_unpacking_flags_each_name(self, lint_tree):
+        report = lint_tree({SRC: "rtt, distance = 1.0, 2.0\n"})
+        assert rule_ids_of(report) == ["UNT001", "UNT001"]
+
+    def test_suffixed_names_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "timeout_ms = 5.0\n"
+                  "distance_km = 12.5\n"
+                  "radius_blocks = 16\n"
+                  "setup_seconds = 0.25\n"
+                  "def wait(delay_ms, deadline_slots):\n"
+                  "    return delay_ms\n"}
+        )
+        assert report.findings == []
+
+    def test_self_and_cls_exempt(self, lint_tree):
+        report = lint_tree(
+            {SRC: "class Probe:\n"
+                  "    def ping(self, rtt_ms):\n"
+                  "        return rtt_ms\n"}
+        )
+        assert report.findings == []
+
+    def test_non_unit_names_allowed(self, lint_tree):
+        report = lint_tree({SRC: "count = 3\nlabel = 'x'\n"})
+        assert report.findings == []
+
+
+class TestUNT002MixedUnits:
+    def test_add_ms_to_seconds_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def total(rtt_ms, setup_seconds):\n"
+                  "    return rtt_ms + setup_seconds\n"}
+        )
+        assert rule_ids_of(report) == ["UNT002"]
+        assert "conversion" in report.findings[0].message
+
+    def test_compare_ms_to_hours_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def late(delay_ms, window_hours):\n"
+                  "    return delay_ms > window_hours\n"}
+        )
+        assert rule_ids_of(report) == ["UNT002"]
+
+    def test_assign_seconds_to_ms_name_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def convert(setup_seconds):\n"
+                  "    total_ms = setup_seconds\n"
+                  "    return total_ms\n"}
+        )
+        assert rule_ids_of(report) == ["UNT002"]
+
+    def test_km_plus_metres_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def span(leg_km, gap_m):\n"
+                  "    return leg_km + gap_m\n"}
+        )
+        assert rule_ids_of(report) == ["UNT002"]
+
+    def test_explicit_conversion_allowed(self, lint_tree):
+        # Multiplication is what a conversion looks like.
+        report = lint_tree(
+            {SRC: "def convert(setup_seconds):\n"
+                  "    total_ms = setup_seconds * 1000.0\n"
+                  "    return total_ms\n"}
+        )
+        assert report.findings == []
+
+    def test_same_unit_arithmetic_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def total(a_ms, b_ms):\n    return a_ms + b_ms\n"}
+        )
+        assert report.findings == []
+
+    def test_time_vs_distance_not_conflated(self, lint_tree):
+        # Different dimensions: not a unit mix-up this rule judges.
+        report = lint_tree(
+            {SRC: "def weird(a_ms, b_km):\n    return a_ms > b_km\n"}
+        )
+        assert report.findings == []

@@ -1,0 +1,89 @@
+"""VEC001: HAS_NUMPY guards must leave the scalar path reachable."""
+
+import pytest
+
+from tests.lint.conftest import SRC, rule_ids_of
+
+pytestmark = pytest.mark.lint
+
+
+class TestVEC001ScalarFallback:
+    def test_trailing_positive_guard_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "HAS_NUMPY = True\n"
+                  "def encode(data):\n"
+                  "    if HAS_NUMPY:\n"
+                  "        return _vector_encode(data)\n"}
+        )
+        assert rule_ids_of(report) == ["VEC001"]
+        assert "falls through" in report.findings[0].message
+
+    def test_guard_with_following_scalar_path_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "HAS_NUMPY = True\n"
+                  "def encode(data):\n"
+                  "    if HAS_NUMPY:\n"
+                  "        return _vector_encode(data)\n"
+                  "    return _scalar_encode(data)\n"}
+        )
+        assert report.findings == []
+
+    def test_guard_with_else_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "HAS_NUMPY = True\n"
+                  "def encode(data):\n"
+                  "    if HAS_NUMPY:\n"
+                  "        out = _vector_encode(data)\n"
+                  "    else:\n"
+                  "        out = _scalar_encode(data)\n"
+                  "    return out\n"}
+        )
+        assert report.findings == []
+
+    def test_silent_negative_guard_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "HAS_NUMPY = True\n"
+                  "def warm_tables():\n"
+                  "    if not HAS_NUMPY:\n"
+                  "        pass\n"}
+        )
+        assert rule_ids_of(report) == ["VEC001"]
+        assert "silently skips" in report.findings[0].message
+
+    def test_negative_guard_raising_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "from repro.errors import ConfigurationError\n"
+                  "HAS_NUMPY = True\n"
+                  "def require_numpy():\n"
+                  "    if not HAS_NUMPY:\n"
+                  "        raise ConfigurationError('install the fast extra')\n"}
+        )
+        assert report.findings == []
+
+    def test_negative_guard_returning_value_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "HAS_NUMPY = True\n"
+                  "def encode(data):\n"
+                  "    if not HAS_NUMPY:\n"
+                  "        return _scalar_encode(data)\n"
+                  "    return _vector_encode(data)\n"}
+        )
+        assert report.findings == []
+
+    def test_attribute_flag_reference_flagged(self, lint_tree):
+        # `mod.HAS_NUMPY` spellings count too.
+        report = lint_tree(
+            {SRC: "import repro.gf.gf256_vec as vec\n"
+                  "def encode(data):\n"
+                  "    if vec.HAS_NUMPY:\n"
+                  "        return _vector_encode(data)\n"}
+        )
+        assert rule_ids_of(report) == ["VEC001"]
+
+    def test_unrelated_if_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def encode(data, fast):\n"
+                  "    if fast:\n"
+                  "        return data\n"}
+        )
+        assert report.findings == []

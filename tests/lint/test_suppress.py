@@ -1,0 +1,78 @@
+"""Pragma suppression: scope, families, and typo rejection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+
+from tests.lint.conftest import SRC
+
+pytestmark = pytest.mark.lint
+
+BAD_LINE = "stamp = time.time()"
+
+
+class TestPragmaScope:
+    def test_same_line_pragma_suppresses(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import time\n"
+                  f"{BAD_LINE}  # repro: lint-ok[SIM001] -- fixture\n"}
+        )
+        assert report.findings == []
+        assert report.n_suppressed == 1
+
+    def test_standalone_pragma_covers_next_line(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import time\n"
+                  "# repro: lint-ok[SIM001] -- fixture\n"
+                  f"{BAD_LINE}\n"}
+        )
+        assert report.findings == []
+        assert report.n_suppressed == 1
+
+    def test_standalone_pragma_does_not_cover_two_lines_down(
+        self, lint_tree
+    ):
+        report = lint_tree(
+            {SRC: "import time\n"
+                  "# repro: lint-ok[SIM001] -- fixture\n"
+                  "ok_ms = 1\n"
+                  f"{BAD_LINE}\n"}
+        )
+        assert [f.rule for f in report.findings] == ["SIM001"]
+
+    def test_family_pragma_suppresses_member_rule(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import time\n"
+                  f"{BAD_LINE}  # repro: lint-ok[SIM] -- fixture\n"}
+        )
+        assert report.findings == []
+        assert report.n_suppressed == 1
+
+    def test_pragma_for_other_rule_does_not_suppress(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import time\n"
+                  f"{BAD_LINE}  # repro: lint-ok[CRY001] -- wrong rule\n"}
+        )
+        assert [f.rule for f in report.findings] == ["SIM001"]
+        assert report.n_suppressed == 0
+
+    def test_multiple_rules_in_one_pragma(self, lint_tree):
+        report = lint_tree(
+            {SRC: "import time\n"
+                  "timeout = time.time()"
+                  "  # repro: lint-ok[SIM001, UNT001] -- fixture\n"}
+        )
+        assert report.findings == []
+        assert report.n_suppressed == 2
+
+
+class TestPragmaValidation:
+    def test_unknown_rule_in_pragma_is_configuration_error(
+        self, lint_tree
+    ):
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            lint_tree({SRC: "x = 1  # repro: lint-ok[NOPE123] -- typo\n"})
+
+    def test_empty_pragma_is_configuration_error(self, lint_tree):
+        with pytest.raises(ConfigurationError, match="empty"):
+            lint_tree({SRC: "x = 1  # repro: lint-ok[ ] -- nothing\n"})
