@@ -282,6 +282,11 @@ def compare_engines(
                         l.peak_queue_depth for l in report.lanes
                     ),
                     "concurrency_speedup": report.concurrency_speedup,
+                    # Real (wall-clock) seconds the TPAs spent in batch
+                    # verdict flushes -- the verify-phase cost the
+                    # batch verification plane amortizes (see
+                    # bench_verify.py for the plane's own gates).
+                    "verify_seconds": report.total_verify_seconds,
                     "detection_speedup_vs_slot": (
                         per_engine["slot"].first_detection_hours() / detection
                         if detection > 0
@@ -305,7 +310,7 @@ def detection_speedup(rows: list[dict], strategy: str) -> float:
 def _render_engine_rows(rows: list[dict]) -> str:
     return format_table(
         ["strategy", "engine", "detect (h)", "audits", "lane util",
-         "overlap", "vs slot"],
+         "overlap", "verify (s)", "vs slot"],
         [
             [
                 r["strategy"],
@@ -314,6 +319,7 @@ def _render_engine_rows(rows: list[dict]) -> str:
                 r["n_audits"],
                 r["mean_lane_utilization"],
                 r["concurrency_speedup"],
+                r["verify_seconds"],
                 r["detection_speedup_vs_slot"],
             ]
             for r in rows

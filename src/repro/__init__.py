@@ -68,7 +68,12 @@ from repro.core.calibration import (
 )
 from repro.core.messages import AuditRequest, SignedTranscript, TimedRound
 from repro.core.session import GeoProofSession
-from repro.core.verification import GeoProofVerdict, verify_transcript
+from repro.core.verification import (
+    GeoProofVerdict,
+    TranscriptVerification,
+    verify_transcript,
+    verify_transcripts,
+)
 from repro.crypto.rng import DeterministicRNG
 from repro.economics import (
     AdversaryCampaign,
@@ -110,6 +115,8 @@ __all__ = [
     "SignedTranscript",
     "GeoProofVerdict",
     "verify_transcript",
+    "verify_transcripts",
+    "TranscriptVerification",
     "TimingBudget",
     "calibrate_rtt_max",
     "relay_distance_bound_km",

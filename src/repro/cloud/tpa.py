@@ -9,17 +9,36 @@ The TPA issues :class:`~repro.core.messages.AuditRequest`s to the
 verifier device, verifies the signed transcripts it gets back
 (:func:`~repro.core.verification.verify_transcript`), and keeps an
 audit log for compliance reporting.
+
+Two verification modes:
+
+* :meth:`ThirdPartyAuditor.audit` -- run the protocol and verify the
+  transcript immediately (one scalar ``verify_transcript``).
+* :meth:`ThirdPartyAuditor.audit_deferred` +
+  :meth:`ThirdPartyAuditor.flush_verdicts` -- run the protocol now,
+  collect the transcript, and verify every pending transcript in one
+  :func:`~repro.core.verification.verify_transcripts` batch (shared
+  MAC key schedules, one Schnorr random-linear-combination check per
+  verifier key).  :meth:`ThirdPartyAuditor.audit_many` wraps the pair
+  for the common collect-then-flush case.  Verdicts are byte-identical
+  between the modes; only the grouping of the arithmetic changes.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.cloud.provider import CloudProvider
 from repro.cloud.sla import SLAPolicy
 from repro.cloud.verifier import VerifierDevice
 from repro.core.messages import AuditRequest, SignedTranscript
-from repro.core.verification import GeoProofVerdict, verify_transcript
+from repro.core.verification import (
+    GeoProofVerdict,
+    TranscriptVerification,
+    verify_transcript,
+    verify_transcripts,
+)
 from repro.crypto.rng import DeterministicRNG
 from repro.errors import ConfigurationError
 from repro.por.parameters import PORParams
@@ -54,14 +73,43 @@ class FileRecord:
     sla: SLAPolicy
 
 
-class ThirdPartyAuditor:
-    """Drives GeoProof audits on behalf of data owners."""
+@dataclass(frozen=True)
+class _PendingAudit:
+    """A protocol run awaiting its verdict (deferred-verify mode)."""
 
-    def __init__(self, name: str, rng: DeterministicRNG) -> None:
+    job: TranscriptVerification
+    started_ms: float
+    finished_ms: float
+
+
+class ThirdPartyAuditor:
+    """Drives GeoProof audits on behalf of data owners.
+
+    ``max_log`` bounds :attr:`audit_log` to a ring buffer of the most
+    recent outcomes (month-long fleet campaigns would otherwise hold
+    every transcript in RAM).  The aggregate reports --
+    :meth:`acceptance_rate` and :meth:`failures_by_reason` -- are
+    computed from exact streaming counters updated as outcomes are
+    logged, so they cover the *full* audit history even after the ring
+    has evicted the underlying outcomes.  With the default
+    ``max_log=None`` the log is a plain unbounded list.
+    """
+
+    def __init__(
+        self, name: str, rng: DeterministicRNG, *, max_log: int | None = None
+    ) -> None:
+        if max_log is not None and max_log < 1:
+            raise ConfigurationError(f"max_log must be >= 1, got {max_log}")
         self.name = name
         self._rng = rng
         self._files: dict[bytes, FileRecord] = {}
-        self.audit_log: list[AuditOutcome] = []
+        self.audit_log: list[AuditOutcome] | deque[AuditOutcome] = (
+            [] if max_log is None else deque(maxlen=max_log)
+        )
+        self._pending: list[_PendingAudit] = []
+        self._n_logged = 0
+        self._n_accepted = 0
+        self._failure_counts: dict[str, int] = {}
 
     # -- registration ---------------------------------------------------
 
@@ -125,44 +173,170 @@ class ThirdPartyAuditor:
         passes a per-datacentre lane clock); default is the verifier
         device's own clock.
         """
+        pending = self._run_protocol(
+            file_id,
+            verifier,
+            provider,
+            k=k,
+            rtt_max_ms=rtt_max_ms,
+            region=region,
+            clock=clock,
+        )
+        verdict = verify_transcript(
+            pending.job.transcript,
+            pending.job.request,
+            verifier_public_key=pending.job.verifier_public_key,
+            mac_key=pending.job.mac_key,
+            params=pending.job.params,
+            region=pending.job.region,
+            rtt_max_ms=pending.job.rtt_max_ms,
+        )
+        outcome = AuditOutcome(
+            request=pending.job.request,
+            transcript=pending.job.transcript,
+            verdict=verdict,
+            started_ms=pending.started_ms,
+            finished_ms=pending.finished_ms,
+        )
+        self._log_outcome(outcome)
+        return outcome
+
+    def _run_protocol(
+        self,
+        file_id: bytes,
+        verifier: VerifierDevice,
+        provider: CloudProvider,
+        *,
+        k: int | None = None,
+        rtt_max_ms: float | None = None,
+        region=None,
+        clock=None,
+    ) -> _PendingAudit:
+        """Run the timed protocol phase; package everything a verdict needs."""
         record = self.record(file_id)
         request = self.make_request(file_id, k)
         timing_clock = clock if clock is not None else verifier.clock
         started = timing_clock.now_ms()
         transcript = verifier.run_audit(request, provider, clock=clock)
         finished = timing_clock.now_ms()
-        verdict = verify_transcript(
-            transcript,
-            request,
+        job = TranscriptVerification(
+            transcript=transcript,
+            request=request,
             verifier_public_key=verifier.public_key,
             mac_key=record.mac_key,
             params=record.params,
             region=region if region is not None else record.sla.region,
             rtt_max_ms=rtt_max_ms if rtt_max_ms is not None else record.sla.rtt_max_ms,
         )
-        outcome = AuditOutcome(
-            request=request,
-            transcript=transcript,
-            verdict=verdict,
-            started_ms=started,
-            finished_ms=finished,
+        return _PendingAudit(job=job, started_ms=started, finished_ms=finished)
+
+    def audit_deferred(
+        self,
+        file_id: bytes,
+        verifier: VerifierDevice,
+        provider: CloudProvider,
+        *,
+        k: int | None = None,
+        rtt_max_ms: float | None = None,
+        region=None,
+        clock=None,
+    ) -> None:
+        """Run the protocol now; queue the transcript for a batched verdict.
+
+        The timed phase happens immediately on the injected clock --
+        deferral changes *when the TPA does its arithmetic*, never what
+        the provider observes.  Verdicts arrive at the next
+        :meth:`flush_verdicts` in submission order.
+        """
+        self._pending.append(
+            self._run_protocol(
+                file_id,
+                verifier,
+                provider,
+                k=k,
+                rtt_max_ms=rtt_max_ms,
+                region=region,
+                clock=clock,
+            )
         )
-        self.audit_log.append(outcome)
-        return outcome
+
+    @property
+    def pending_count(self) -> int:
+        """Number of protocol runs awaiting a verdict flush."""
+        return len(self._pending)
+
+    def flush_verdicts(self) -> list[AuditOutcome]:
+        """Verify every pending transcript in one batch; log and return.
+
+        Outcomes come back in :meth:`audit_deferred` submission order
+        and are byte-identical to what :meth:`audit` would have logged
+        for the same protocol runs (pinned by test) -- the batch plane
+        only regroups the MAC and Schnorr arithmetic.
+        """
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        verdicts = verify_transcripts([entry.job for entry in pending])
+        outcomes: list[AuditOutcome] = []
+        for entry, verdict in zip(pending, verdicts):
+            outcome = AuditOutcome(
+                request=entry.job.request,
+                transcript=entry.job.transcript,
+                verdict=verdict,
+                started_ms=entry.started_ms,
+                finished_ms=entry.finished_ms,
+            )
+            self._log_outcome(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def audit_many(
+        self,
+        file_ids: list[bytes],
+        verifier: VerifierDevice,
+        provider: CloudProvider,
+        *,
+        k: int | None = None,
+        rtt_max_ms: float | None = None,
+        region=None,
+        clock=None,
+    ) -> list[AuditOutcome]:
+        """Audit several files, verifying all transcripts in one batch."""
+        for file_id in file_ids:
+            self.audit_deferred(
+                file_id,
+                verifier,
+                provider,
+                k=k,
+                rtt_max_ms=rtt_max_ms,
+                region=region,
+                clock=clock,
+            )
+        return self.flush_verdicts()
 
     # -- reporting ------------------------------------------------------------
 
+    def _log_outcome(self, outcome: AuditOutcome) -> None:
+        """Append to the (possibly ring-buffered) log; update counters."""
+        self.audit_log.append(outcome)
+        self._n_logged += 1
+        if outcome.verdict.accepted:
+            self._n_accepted += 1
+        for reason in outcome.verdict.failure_reasons:
+            self._failure_counts[reason] = self._failure_counts.get(reason, 0) + 1
+
     def acceptance_rate(self) -> float:
-        """Fraction of logged audits that were accepted."""
-        if not self.audit_log:
+        """Fraction of all logged audits that were accepted.
+
+        Counted over the full audit history (exact even after ring
+        eviction under ``max_log``).  By convention an empty log is
+        ``0.0`` -- a TPA that has never audited has proven nothing, so
+        reports must not read as a perfect record.
+        """
+        if self._n_logged == 0:
             return 0.0
-        accepted = sum(1 for o in self.audit_log if o.verdict.accepted)
-        return accepted / len(self.audit_log)
+        return self._n_accepted / self._n_logged
 
     def failures_by_reason(self) -> dict[str, int]:
-        """Histogram of failure reasons across the log."""
-        histogram: dict[str, int] = {}
-        for outcome in self.audit_log:
-            for reason in outcome.verdict.failure_reasons:
-                histogram[reason] = histogram.get(reason, 0) + 1
-        return histogram
+        """Histogram of failure reasons across the full audit history."""
+        return dict(self._failure_counts)

@@ -22,7 +22,12 @@ from repro.core.calibration import (
 )
 from repro.core.messages import AuditRequest, SignedTranscript, TimedRound
 from repro.core.triangulation import LandmarkTriangulator, TriangulationResult
-from repro.core.verification import GeoProofVerdict, verify_transcript
+from repro.core.verification import (
+    GeoProofVerdict,
+    TranscriptVerification,
+    verify_transcript,
+    verify_transcripts,
+)
 
 
 def __getattr__(name: str):
@@ -48,5 +53,7 @@ __all__ = [
     "relay_distance_bound_km",
     "GeoProofVerdict",
     "verify_transcript",
+    "verify_transcripts",
+    "TranscriptVerification",
     "GeoProofSession",
 ]

@@ -19,7 +19,6 @@ verbatim; the session remains the one-owner convenience wrapper.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.cloud.provider import CloudProvider, DataCentre
@@ -34,6 +33,7 @@ from repro.netsim.clock import SimClock
 from repro.por.parameters import PORParams
 from repro.por.setup import PORKeys, setup_file
 from repro.storage.hdd import HDDSpec, WD_2500JD
+from repro.util.wallclock import wall_seconds
 
 
 @dataclass
@@ -77,12 +77,12 @@ def outsource_file(
     keys = PORKeys.derive(
         rng.fork(f"keys-{file_id.hex()}").random_bytes(32)
     )
-    # The library's one vetted wall-clock read: setup_seconds reports
-    # the *real* encode cost of the outsourcing hot path (tracked by
-    # bench_prp/bench_rs); it never feeds a simulated quantity.
-    setup_start = time.perf_counter()  # repro: lint-ok[SIM001] -- real encode cost, not simulated time
+    # setup_seconds reports the *real* encode cost of the outsourcing
+    # hot path (tracked by bench_prp/bench_rs); it never feeds a
+    # simulated quantity (see util/wallclock.py).
+    setup_start = wall_seconds()
     encoded = setup_file(data, keys, file_id, params, workers=workers)
-    setup_seconds = time.perf_counter() - setup_start  # repro: lint-ok[SIM001] -- real encode cost, not simulated time
+    setup_seconds = wall_seconds() - setup_start
     provider.upload(encoded, home_datacentre)
     tpa.register_file(
         file_id,

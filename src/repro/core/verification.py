@@ -14,15 +14,25 @@ following steps:
 a boolean, because the failure *mode* is the experimental observable
 (timing failures indicate relays, MAC failures indicate corruption,
 GPS failures indicate device relocation).
+
+:func:`verify_transcripts` is the batch plane over the same semantics:
+it groups every round of every transcript into one
+:func:`~repro.crypto.mac.mac_verify_many` call per (key, file, tag
+width) and one :func:`~repro.crypto.schnorr.schnorr_verify_many` batch
+per verifier key, then reassembles per-transcript verdicts that are
+byte-identical to running the scalar loop job by job.  The scalar
+:func:`verify_transcript` stays as the semantics anchor, same pattern
+as slot-vs-event and vec-vs-scalar RS.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.messages import AuditRequest, SignedTranscript
-from repro.crypto.mac import mac_verify
-from repro.crypto.schnorr import SchnorrPublicKey, schnorr_verify
+from repro.crypto.mac import mac_verify, mac_verify_many
+from repro.crypto.schnorr import SchnorrPublicKey, schnorr_verify, schnorr_verify_many
 from repro.errors import VerificationError
 from repro.geo.regions import Region
 from repro.por.parameters import PORParams
@@ -130,6 +140,131 @@ def verify_transcript(
         rtt_max_ms=rtt_max_ms,
         bad_mac_indices=tuple(bad_macs),
     )
+
+
+@dataclass(frozen=True)
+class TranscriptVerification:
+    """One pending verification job for :func:`verify_transcripts`.
+
+    Bundles exactly the arguments of :func:`verify_transcript`; the MAC
+    key is hidden from the repr because verdict batches end up in logs
+    and failure output (CRY003).
+    """
+
+    transcript: SignedTranscript
+    request: AuditRequest
+    verifier_public_key: SchnorrPublicKey
+    mac_key: bytes = field(repr=False)
+    params: PORParams
+    region: Region
+    rtt_max_ms: float
+
+
+def verify_transcripts(
+    jobs: Sequence[TranscriptVerification],
+) -> list[GeoProofVerdict]:
+    """Verify a batch of transcripts; one verdict per job, in order.
+
+    Byte-identical to ``[verify_transcript(job...) for job in jobs]``
+    (pinned by test): the cheap checks (position, freshness, timing)
+    stay scalar, while the two expensive checks amortize --
+
+    * all rounds sharing a (mac_key, file_id, tag_bits) triple are
+      recomputed through one :func:`mac_verify_many` call (one HMAC
+      key schedule per group instead of one per round);
+    * all signatures sharing a verifier key go through one
+      :func:`schnorr_verify_many` random-linear-combination batch
+      (culprit transcripts isolated by bisection on failure).
+
+    Rounds whose echoed segment index contradicts the round index are
+    marked bad without touching the MAC batch, exactly like the scalar
+    path's short-circuiting ``and``.
+    """
+    # --- Schnorr: one batch per verifier key, first-appearance order.
+    signature_oks = [False] * len(jobs)
+    by_key: dict[SchnorrPublicKey, list[int]] = {}
+    for position, job in enumerate(jobs):
+        by_key.setdefault(job.verifier_public_key, []).append(position)
+    for public_key, positions in by_key.items():
+        verdicts = schnorr_verify_many(
+            public_key,
+            [jobs[position].transcript.signed_payload() for position in positions],
+            [jobs[position].transcript.signature for position in positions],
+        )
+        for position, ok in zip(positions, verdicts):
+            signature_oks[position] = ok
+
+    # --- MACs: flatten every round into one batch per key/file/width.
+    # round_oks[j] holds job j's per-round tag verdicts in round order;
+    # index-mismatched rounds are bad by definition and never reach the
+    # MAC recomputation.
+    round_oks: list[list[bool]] = []
+    by_mac: dict[tuple[bytes, bytes, int], list[tuple[int, int]]] = {}
+    for position, job in enumerate(jobs):
+        round_oks.append([False] * len(job.transcript.rounds))
+        group_key = (job.mac_key, job.transcript.file_id, job.params.tag_bits)
+        entries = by_mac.setdefault(group_key, [])
+        for round_position, round_ in enumerate(job.transcript.rounds):
+            if round_.segment.index == round_.index:
+                entries.append((position, round_position))
+    for (mac_key, file_id, tag_bits), entries in by_mac.items():
+        if not entries:
+            continue
+        rounds = [
+            jobs[position].transcript.rounds[round_position]
+            for position, round_position in entries
+        ]
+        tag_oks = mac_verify_many(
+            mac_key,
+            [round_.segment.payload for round_ in rounds],
+            [round_.segment.tag for round_ in rounds],
+            file_id,
+            indices=[round_.index for round_ in rounds],
+            tag_bits=tag_bits,
+        )
+        for (position, round_position), ok in zip(entries, tag_oks):
+            round_oks[position][round_position] = ok
+
+    # --- Assemble verdicts in input order.
+    out: list[GeoProofVerdict] = []
+    for position, job in enumerate(jobs):
+        transcript, request = job.transcript, job.request
+        position_ok = job.region.contains(transcript.position)
+        indices = transcript.challenge_indices()
+        challenge_ok = (
+            transcript.file_id == request.file_id
+            and transcript.nonce == request.nonce
+            and len(indices) == request.k
+            and len(set(indices)) == len(indices)
+            and all(0 <= index < request.n_segments for index in indices)
+        )
+        bad_macs = [
+            round_.index
+            for round_, tag_ok in zip(transcript.rounds, round_oks[position])
+            if not tag_ok
+        ]
+        max_rtt_ms_observed = transcript.max_rtt_ms
+        timing_ok = max_rtt_ms_observed <= job.rtt_max_ms
+        signature_ok = signature_oks[position]
+        macs_ok = not bad_macs
+        out.append(
+            GeoProofVerdict(
+                accepted=signature_ok
+                and position_ok
+                and macs_ok
+                and timing_ok
+                and challenge_ok,
+                signature_ok=signature_ok,
+                position_ok=position_ok,
+                macs_ok=macs_ok,
+                timing_ok=timing_ok,
+                challenge_ok=challenge_ok,
+                max_rtt_ms=max_rtt_ms_observed,
+                rtt_max_ms=job.rtt_max_ms,
+                bad_mac_indices=tuple(bad_macs),
+            )
+        )
+    return out
 
 
 def require_accepted(verdict: GeoProofVerdict) -> None:

@@ -33,7 +33,9 @@ from repro.crypto.schnorr import (
     SchnorrPrivateKey,
     SchnorrPublicKey,
     schnorr_sign,
+    schnorr_sign_many,
     schnorr_verify,
+    schnorr_verify_many,
 )
 
 __all__ = [
@@ -58,5 +60,7 @@ __all__ = [
     "SchnorrPrivateKey",
     "SchnorrPublicKey",
     "schnorr_sign",
+    "schnorr_sign_many",
     "schnorr_verify",
+    "schnorr_verify_many",
 ]

@@ -108,6 +108,7 @@ from repro.por.parameters import PORParams, TEST_PARAMS
 from repro.storage.hdd import HDDSpec, WD_2500JD
 from repro.storage.server import StorageServer
 from repro.util.validation import check_positive
+from repro.util.wallclock import wall_seconds
 
 from repro.fleet.report import (
     AuditEvent,
@@ -599,7 +600,8 @@ class AuditFleet:
         *,
         clock: SimClock | None = None,
         at_site: str | None = None,
-    ) -> AuditOutcome:
+        defer: bool = False,
+    ) -> AuditOutcome | None:
         """Run one audit of a task through a contracted verifier.
 
         ``clock`` is the clock the timed phase runs on -- the fleet
@@ -615,6 +617,13 @@ class AuditFleet:
         copy nearest the auditing verifier
         (:class:`~repro.cloud.replication.NearestCopyStrategy`) -- an
         installed adversary strategy is never overridden.
+
+        ``defer=True`` runs the timed protocol phase now but leaves
+        the verdict to the TPA's next
+        :meth:`~repro.cloud.tpa.ThirdPartyAuditor.flush_verdicts`
+        batch (returns ``None``); the run engines defer every audit in
+        a batch and flush once per batch, which is where the batch
+        verification plane's speedup lands at fleet scale.
         """
         clock = clock if clock is not None else self.clock
         deployment = self.deployment(task.provider_name)
@@ -637,15 +646,28 @@ class AuditFleet:
         if serve_local:
             provider.set_strategy(NearestCopyStrategy(verifier.location))
         try:
-            outcome = deployment.tpa.audit(
-                task.file_id,
-                verifier,
-                provider,
-                k=task.k_rounds,
-                rtt_max_ms=rtt_max_ms,
-                region=region,
-                clock=clock,
-            )
+            outcome: AuditOutcome | None
+            if defer:
+                deployment.tpa.audit_deferred(
+                    task.file_id,
+                    verifier,
+                    provider,
+                    k=task.k_rounds,
+                    rtt_max_ms=rtt_max_ms,
+                    region=region,
+                    clock=clock,
+                )
+                outcome = None
+            else:
+                outcome = deployment.tpa.audit(
+                    task.file_id,
+                    verifier,
+                    provider,
+                    k=task.k_rounds,
+                    rtt_max_ms=rtt_max_ms,
+                    region=region,
+                    clock=clock,
+                )
         finally:
             if serve_local:
                 provider.set_strategy(None)
@@ -654,6 +676,34 @@ class AuditFleet:
         if site_name != task.datacentre:
             task.stolen_audits += 1
         return outcome
+
+    def _flush_batch_verdicts(
+        self, batch: list[AuditTask]
+    ) -> list[AuditOutcome]:
+        """Flush one batch's deferred verdicts, back in task order.
+
+        One :meth:`~repro.cloud.tpa.ThirdPartyAuditor.flush_verdicts`
+        per distinct provider in the batch (first-appearance order);
+        each TPA returns its outcomes in submission order, which is
+        the batch's own task order restricted to that provider.
+        """
+        by_provider: dict[str, list[int]] = {}
+        for position, task in enumerate(batch):
+            by_provider.setdefault(task.provider_name, []).append(position)
+        outcomes: list[AuditOutcome | None] = [None] * len(batch)
+        for provider_name, positions in by_provider.items():
+            flushed = self.deployment(provider_name).tpa.flush_verdicts()
+            if len(flushed) != len(positions):
+                # Audits deferred outside the run loop would misalign
+                # the outcome/task mapping; refuse rather than mislabel.
+                raise ConfigurationError(
+                    f"provider {provider_name!r} flushed {len(flushed)} "
+                    f"verdicts for a batch of {len(positions)}; do not mix "
+                    "manual audit_deferred() calls with fleet runs"
+                )
+            for position, outcome in zip(positions, flushed):
+                outcomes[position] = outcome
+        return [outcome for outcome in outcomes if outcome is not None]
 
     def next_batch(
         self,
@@ -737,28 +787,38 @@ class AuditFleet:
             # One dispatch pays for the whole batch: the TPA wakes the
             # site's verifier appliance once and streams every request.
             self.clock.advance(self.dispatch_overhead_ms)
+            staged: list[tuple[AuditTask, float]] = []
             with accounting.service_context(site, self.clock), \
                     accounting.site_window(site) as window:
                 for task in batch:
                     wait_mark = accounting.provider_wait_ms(site[0])
-                    outcome = self.audit_once(task)
-                    events.append(
-                        self._event_for(
-                            slot, task, outcome, start_ms, horizon_ms,
-                            clock=self.clock,
-                            executed_at=task.datacentre,
-                            spindle_wait_ms=(
-                                accounting.provider_wait_ms(site[0])
-                                - wait_mark
-                            ),
-                        )
+                    self.audit_once(task, defer=True)
+                    staged.append((
+                        task,
+                        accounting.provider_wait_ms(site[0]) - wait_mark,
+                    ))
+            # One batched verdict flush per (slot, site) batch; the
+            # wall time it takes is the verify-phase cost the lane
+            # accounting attributes (simulated time is untouched --
+            # verdicts are instantaneous on the audit timeline).
+            verify_start = wall_seconds()
+            outcomes = self._flush_batch_verdicts(batch)
+            verify_seconds = wall_seconds() - verify_start
+            for (task, spindle_wait_ms), outcome in zip(staged, outcomes):
+                events.append(
+                    self._event_for(
+                        slot, task, outcome, start_ms, horizon_ms,
+                        executed_at=task.datacentre,
+                        spindle_wait_ms=spindle_wait_ms,
                     )
+                )
             accounting.charge(
                 site,
                 n_audits=len(batch),
                 busy_ms=self.clock.now_ms() - batch_start,
                 disk_ms=window.disk_ms,
                 wait_ms=window.wait_ms,
+                verify_seconds=verify_seconds,
             )
             slot += 1
         return self._build_report(
@@ -819,28 +879,43 @@ class AuditFleet:
                 slot_index = accounting.n_batches_at(site)
                 lane_clock.advance(self.dispatch_overhead_ms)
                 n_stolen = 0
+                staged: list[tuple[AuditTask, float]] = []
                 with accounting.service_context(site, lane_clock), \
                         accounting.site_window(site) as window:
                     for task in batch:
                         stolen = task.site != site
                         n_stolen += stolen
                         wait_mark = accounting.provider_wait_ms(site[0])
-                        outcome = self.audit_once(
+                        self.audit_once(
                             task,
                             clock=lane_clock,
                             at_site=site[1] if stolen else None,
+                            defer=True,
                         )
-                        recorded.append(
-                            self._event_for(
-                                slot_index, task, outcome, start_ms,
-                                horizon_ms, clock=lane_clock,
-                                executed_at=site[1],
-                                spindle_wait_ms=(
-                                    accounting.provider_wait_ms(site[0])
-                                    - wait_mark
-                                ),
-                            )
+                        staged.append((
+                            task,
+                            accounting.provider_wait_ms(site[0])
+                            - wait_mark,
+                        ))
+                # Per-lane batched verdict flush, mirroring the slot
+                # engine; the lane clock additionally keeps the real
+                # verify cost so per-lane attribution survives into
+                # LaneStats.
+                verify_start = wall_seconds()
+                outcomes = self._flush_batch_verdicts(batch)
+                verify_seconds = wall_seconds() - verify_start
+                lane_clock.record_verify_seconds(verify_seconds)
+                for (task, spindle_wait_ms), outcome in zip(
+                    staged, outcomes
+                ):
+                    recorded.append(
+                        self._event_for(
+                            slot_index, task, outcome, start_ms,
+                            horizon_ms,
+                            executed_at=site[1],
+                            spindle_wait_ms=spindle_wait_ms,
                         )
+                    )
                 accounting.charge(
                     site,
                     n_audits=len(batch),
@@ -848,6 +923,7 @@ class AuditFleet:
                     disk_ms=window.disk_ms,
                     wait_ms=window.wait_ms,
                     n_stolen=n_stolen,
+                    verify_seconds=verify_seconds,
                 )
             return dispatch
 
@@ -908,7 +984,6 @@ class AuditFleet:
         start_ms: float,
         horizon_ms: float,
         *,
-        clock: SimClock,
         executed_at: str,
         spindle_wait_ms: float = 0.0,
     ) -> AuditEvent:
@@ -922,9 +997,15 @@ class AuditFleet:
         absorbed.  Audits whose batch legitimately started inside the
         horizon but finished past it are flagged, not dropped, so both
         engines treat overruns identically.
+
+        The timestamp is the outcome's own protocol finish time:
+        verification consumes no simulated time, so this is exactly
+        the clock reading at which the pre-batching code recorded the
+        event -- which is what lets the engines defer verdicts to a
+        per-batch flush without moving a single event.
         """
         verdict = outcome.verdict
-        finished_ms = clock.now_ms()
+        finished_ms = outcome.finished_ms
         return AuditEvent(
             slot=slot,
             tenant=task.tenant,
@@ -1052,7 +1133,7 @@ class _LaneAccounting:
         self._acc: dict[tuple[str, str], dict[str, float]] = {
             site: {
                 "batches": 0, "audits": 0, "disk_ms": 0.0, "busy_ms": 0.0,
-                "wait_ms": 0.0, "stolen": 0,
+                "wait_ms": 0.0, "stolen": 0, "verify_s": 0.0,
             }
             for site in self.sites
         }
@@ -1176,6 +1257,7 @@ class _LaneAccounting:
         disk_ms: float,
         wait_ms: float = 0.0,
         n_stolen: int = 0,
+        verify_seconds: float = 0.0,
     ) -> None:
         """Account one dispatched batch against its lane."""
         acc = self._acc[site]
@@ -1185,6 +1267,7 @@ class _LaneAccounting:
         acc["disk_ms"] += disk_ms
         acc["wait_ms"] += wait_ms
         acc["stolen"] += n_stolen
+        acc["verify_s"] += verify_seconds
 
     def stats(
         self,
@@ -1207,6 +1290,11 @@ class _LaneAccounting:
             wait_ms = (
                 lane.clock.waiting_ms if lane is not None else acc["wait_ms"]
             )
+            verify_seconds = (
+                lane.clock.verify_seconds
+                if lane is not None
+                else acc["verify_s"]
+            )
             rows.append(
                 LaneStats(
                     provider=site[0],
@@ -1222,6 +1310,7 @@ class _LaneAccounting:
                     dropped_slots=lane.dropped if lane is not None else 0,
                     spindle_wait_ms=wait_ms,
                     stolen_audits=int(acc["stolen"]),
+                    verify_seconds=verify_seconds,
                 )
             )
         return tuple(rows)

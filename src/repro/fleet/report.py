@@ -19,7 +19,7 @@ field -- the determinism contract the fleet test suite pins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.reporting import format_table
 from repro.fleet.strategies import MS_PER_HOUR
@@ -113,6 +113,15 @@ class LaneStats:
     #: Audits this lane executed for files homed at sibling lanes
     #: (work-stealing migrations it absorbed).
     stolen_audits: int = 0
+    #: Real (wall-clock) seconds the lane's TPA spent computing
+    #: verdicts in batch verification flushes.  The one *measured*
+    #: column in the report: it varies run to run like any wall-time
+    #: quantity, so it is excluded from the dataclass equality the
+    #: determinism and slot-vs-event anchors pin (``compare=False``)
+    #: and from :meth:`FleetReport.render`; it is exported via
+    #: :meth:`FleetReport.to_dict` and tracked by
+    #: bench_verify/bench_fleet.
+    verify_seconds: float = field(default=0.0, compare=False)
 
     @property
     def site(self) -> tuple[str, str]:
@@ -258,6 +267,16 @@ class FleetReport:
         return sum(s.wait_ms for s in self.spindles)
 
     @property
+    def total_verify_seconds(self) -> float:
+        """Real seconds spent computing verdicts across all lanes.
+
+        Wall-clock, not simulated (see :attr:`LaneStats.verify_seconds`):
+        the TPA-side cost of the batch verification flushes, the
+        quantity bench_verify's >=5x gate drives down.
+        """
+        return sum(lane.verify_seconds for lane in self.lanes)
+
+    @property
     def concurrency_speedup(self) -> float:
         """Serial-equivalent busy time over the critical lane's busy time.
 
@@ -349,6 +368,7 @@ class FleetReport:
             "n_contention_timeouts": self.n_contention_timeouts,
             "n_shed_slots": self.n_shed_slots,
             "total_spindle_wait_ms": self.total_spindle_wait_ms,
+            "total_verify_seconds": self.total_verify_seconds,
             "verdict_breakdown": {
                 label: count for label, count in self.verdict_breakdown
             },
@@ -380,6 +400,7 @@ class FleetReport:
                     "peak_queue_depth": lane.peak_queue_depth,
                     "dropped_slots": lane.dropped_slots,
                     "stolen_audits": lane.stolen_audits,
+                    "verify_seconds": lane.verify_seconds,
                 }
                 for lane in self.lanes
             ],

@@ -27,6 +27,14 @@ from repro.lint.registry import (
 #: Identifiers that denote MAC/digest values.
 _DIGESTY_NAME = re.compile(r"(^|_)(tag|mac|digest|hmac|signature)s?$")
 
+#: Callables whose return value is PRF-derived secret-keyed material
+#: (sentinel values, KDF outputs).  Comparing *against* such a call is
+#: a tag check even when neither side is named like a digest -- the
+#: expected value is keyed, so a short-circuiting == leaks a prefix
+#: oracle on it just like a MAC compare would.  Pattern kept tight
+#: (prf / sentinel / kdf) to avoid flagging ordinary helper calls.
+_PRF_DERIVER_NAME = re.compile(r"(^|_)(prf|sentinel|kdf)(_|$)")
+
 #: Identifiers that denote secret key material.  ``public_*`` is
 #: explicitly not secret (verification keys are meant to be shared).
 _KEYISH_NAME = re.compile(r"(^|_)key$|secret")
@@ -34,7 +42,9 @@ _KEYISH_NAME = re.compile(r"(^|_)key$|secret")
 
 def _is_keyish(name: str) -> bool:
     lowered = name.lower().lstrip("_")
-    if lowered.startswith(("public", "pub_")):
+    # Verification keys are meant to be shared: "public" anywhere in
+    # the name (public_key, verifier_public_key) marks it non-secret.
+    if lowered.startswith("pub_") or "public" in lowered:
         return False
     return _KEYISH_NAME.search(lowered) is not None
 
@@ -44,6 +54,14 @@ def _looks_like_digest(node: ast.AST) -> bool:
         return node.func.attr in ("digest", "hexdigest")
     name = terminal_identifier(node)
     return name is not None and _DIGESTY_NAME.search(name.lower()) is not None
+
+
+def _looks_like_prf_output(node: ast.AST) -> bool:
+    """A call whose callee name marks the result as PRF-derived."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = terminal_identifier(node.func)
+    return name is not None and _PRF_DERIVER_NAME.search(name.lower()) is not None
 
 
 @register
@@ -59,7 +77,10 @@ class VariableTimeCompareRule(Rule):
         "equality over a MAC/tag/digest/signature value must go "
         "through hmac.compare_digest (see crypto/mac.py), which "
         "compares in constant time regardless of where the bytes "
-        "differ."
+        "differ.  The same applies when the expected side is a "
+        "PRF-derived value (prf_*/sentinel_*/kdf_* call): the output "
+        "is secret-keyed, so comparing against it is a tag check "
+        "regardless of what the variables are named."
     )
     node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Compare,)
 
@@ -82,6 +103,13 @@ class VariableTimeCompareRule(Rule):
                 node,
                 "variable-time == on a MAC/digest value; use "
                 "hmac.compare_digest(expected, got)",
+            )
+        elif any(_looks_like_prf_output(operand) for operand in operands):
+            yield self.finding(
+                ctx,
+                node,
+                "variable-time == against a PRF-derived expected value; "
+                "use hmac.compare_digest(expected, got)",
             )
 
 

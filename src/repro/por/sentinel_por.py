@@ -21,6 +21,7 @@ honesty; none affects the detection math the benchmarks measure):
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass
 
 from repro.crypto.aes import aes_ctr_encrypt
@@ -176,10 +177,19 @@ class SentinelPORClient:
     def verify_response(
         self, challenge: SentinelChallenge, response: SentinelResponse
     ) -> bool:
-        """True iff every returned block equals the expected sentinel."""
+        """True iff every returned block equals the expected sentinel.
+
+        Sentinel values are PRF outputs under the client's master key,
+        so comparing them is a tag check: a short-circuiting ``!=``
+        would leak, through timing, how many leading blocks (and how
+        many leading bytes of the first bad block) the server got
+        right.  Every block is therefore compared with
+        :func:`hmac.compare_digest` and the verdict accumulated without
+        early exit.
+        """
         if len(response.blocks) != len(challenge.sentinel_ids):
             return False
+        ok = True
         for sentinel_id, block in zip(challenge.sentinel_ids, response.blocks):
-            if block != self._sentinel_value(sentinel_id):
-                return False
-        return True
+            ok &= hmac.compare_digest(block, self._sentinel_value(sentinel_id))
+        return ok

@@ -1,0 +1,30 @@
+"""The library's one vetted wall-clock read.
+
+SIM001 bans wall-clock reads in library code: simulated quantities must
+come from injected clocks so runs replay bit-for-bit from a seed (see
+docs/INVARIANTS.md).  Two measurements are deliberately *real*, though:
+
+* ``setup_seconds`` -- the encode cost of the outsourcing hot path
+  (``core/session.py``, tracked by bench_prp/bench_rs);
+* ``verify_seconds`` -- the TPA-side verdict cost of a fleet's batch
+  verification flushes (``fleet/fleet.py``, tracked by bench_verify /
+  bench_fleet).
+
+Both report how long *this process* spent computing, never feed a
+simulated quantity, and funnel through this helper so the tree carries
+exactly one SIM001 pragma.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_seconds() -> float:
+    """Monotonic wall-clock seconds for real-cost accounting only.
+
+    Differences of two reads measure the process's own compute time
+    (e.g. ``setup_seconds``, ``verify_seconds``).  Never use this for
+    simulated timing -- that is what ``SimClock``/``LaneClock`` are for.
+    """
+    return time.perf_counter()  # repro: lint-ok[SIM001] -- real compute cost, not simulated time

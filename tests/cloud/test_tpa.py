@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.cloud.tpa import ThirdPartyAuditor
+from repro.crypto.rng import DeterministicRNG
 from repro.errors import ConfigurationError
 from tests.conftest import build_session
 
@@ -52,6 +54,121 @@ class TestAuditing:
         strict = session.audit(file_id, k=5, rtt_max_ms=0.001)
         assert not strict.verdict.accepted
         assert "timing" in strict.verdict.failure_reasons
+
+
+class TestDeferredVerification:
+    def test_deferred_outcomes_equal_immediate(self):
+        """Same seed, both modes: the outcome lists must be ``==``."""
+        immediate_session, file_id, _ = build_session("tpa-defer")
+        deferred_session, _, _ = build_session("tpa-defer")
+        immediate = [
+            immediate_session.tpa.audit(
+                file_id,
+                immediate_session.verifier,
+                immediate_session.provider,
+                k=5,
+            )
+            for _ in range(4)
+        ]
+        for _ in range(4):
+            deferred_session.tpa.audit_deferred(
+                file_id,
+                deferred_session.verifier,
+                deferred_session.provider,
+                k=5,
+            )
+        assert deferred_session.tpa.pending_count == 4
+        flushed = deferred_session.tpa.flush_verdicts()
+        assert flushed == immediate
+        assert deferred_session.tpa.pending_count == 0
+        assert list(deferred_session.tpa.audit_log) == list(
+            immediate_session.tpa.audit_log
+        )
+
+    def test_flush_empty_is_noop(self):
+        session, _, _ = build_session("tpa-noflush")
+        assert session.tpa.flush_verdicts() == []
+        assert session.tpa.audit_log == []
+
+    def test_audit_many_wraps_collect_then_flush(self):
+        session, file_id, _ = build_session("tpa-many")
+        outcomes = session.tpa.audit_many(
+            [file_id, file_id, file_id],
+            session.verifier,
+            session.provider,
+            k=5,
+        )
+        assert len(outcomes) == 3
+        assert all(outcome.verdict.accepted for outcome in outcomes)
+        assert list(session.tpa.audit_log) == outcomes
+
+    def test_deferred_counts_failures(self):
+        session, file_id, _ = build_session("tpa-defer-fail")
+        session.tpa.audit_deferred(
+            file_id, session.verifier, session.provider, k=5
+        )
+        session.tpa.audit_deferred(
+            file_id,
+            session.verifier,
+            session.provider,
+            k=5,
+            rtt_max_ms=0.001,
+        )
+        session.tpa.flush_verdicts()
+        assert session.tpa.acceptance_rate() == pytest.approx(0.5)
+        assert session.tpa.failures_by_reason().get("timing") == 1
+
+
+class TestBoundedAuditLog:
+    def test_ring_keeps_most_recent(self):
+        session, file_id, _ = build_session("tpa-ring")
+        bounded = ThirdPartyAuditor(
+            "ring", DeterministicRNG("ring"), max_log=2
+        )
+        record = session.tpa.record(file_id)
+        bounded.register_file(
+            file_id,
+            record.n_segments,
+            record.mac_key,
+            record.params,
+            record.sla,
+        )
+        outcomes = [
+            bounded.audit(file_id, session.verifier, session.provider, k=5)
+            for _ in range(5)
+        ]
+        assert list(bounded.audit_log) == outcomes[-2:]
+
+    def test_counters_exact_after_eviction(self):
+        session, file_id, _ = build_session("tpa-ring-count")
+        bounded = ThirdPartyAuditor(
+            "ring", DeterministicRNG("ring"), max_log=1
+        )
+        record = session.tpa.record(file_id)
+        bounded.register_file(
+            file_id,
+            record.n_segments,
+            record.mac_key,
+            record.params,
+            record.sla,
+        )
+        for _ in range(3):
+            bounded.audit(file_id, session.verifier, session.provider, k=5)
+        bounded.audit(
+            file_id,
+            session.verifier,
+            session.provider,
+            k=5,
+            rtt_max_ms=0.001,
+        )
+        # One outcome retained, four counted.
+        assert len(bounded.audit_log) == 1
+        assert bounded.acceptance_rate() == pytest.approx(0.75)
+        assert bounded.failures_by_reason().get("timing") == 1
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThirdPartyAuditor("bad", DeterministicRNG("bad"), max_log=0)
 
 
 class TestReporting:

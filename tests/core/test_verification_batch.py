@@ -1,0 +1,199 @@
+"""verify_transcripts vs the scalar verify_transcript anchor.
+
+The batch plane regroups the MAC and Schnorr arithmetic; the contract
+is that on *any* population -- honest, forged-signature, wrong-key,
+corrupted-MAC, replayed-nonce, duplicated-indices, and mixes of all of
+them -- the verdict list equals running :func:`verify_transcript` job
+by job, field for field, including ``bad_mac_indices``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cloud.adversary import CorruptionAttack
+from repro.core.verification import (
+    TranscriptVerification,
+    verify_transcript,
+    verify_transcripts,
+)
+from repro.crypto.rng import DeterministicRNG
+from repro.crypto.schnorr import TEST_GROUP, SchnorrKeyPair
+from tests.conftest import build_session
+
+
+# Every test here pays a full POR setup in its fixtures: slow lane.
+pytestmark = pytest.mark.slow
+
+
+def audit_job(session, file_id, k=5, **overrides):
+    """Run one real protocol round; package it as a verification job."""
+    record = session.tpa.record(file_id)
+    request = session.tpa.make_request(file_id, k)
+    transcript = session.verifier.run_audit(request, session.provider)
+    job = TranscriptVerification(
+        transcript=transcript,
+        request=request,
+        verifier_public_key=session.verifier.public_key,
+        mac_key=record.mac_key,
+        params=record.params,
+        region=session.sla.region,
+        rtt_max_ms=session.sla.rtt_max_ms,
+    )
+    return dataclasses.replace(job, **overrides) if overrides else job
+
+
+def scalar_verdicts(jobs):
+    return [
+        verify_transcript(
+            job.transcript,
+            job.request,
+            verifier_public_key=job.verifier_public_key,
+            mac_key=job.mac_key,
+            params=job.params,
+            region=job.region,
+            rtt_max_ms=job.rtt_max_ms,
+        )
+        for job in jobs
+    ]
+
+
+def tamper(job, **transcript_overrides):
+    """Replace transcript fields (breaking the signature over them)."""
+    return dataclasses.replace(
+        job,
+        transcript=dataclasses.replace(
+            job.transcript, **transcript_overrides
+        ),
+    )
+
+
+class TestHonestBatches:
+    def test_batch_equals_scalar_on_honest_population(self):
+        session, file_id, _ = build_session("vbatch-honest")
+        jobs = [audit_job(session, file_id) for _ in range(6)]
+        verdicts = verify_transcripts(jobs)
+        assert verdicts == scalar_verdicts(jobs)
+        assert all(verdict.accepted for verdict in verdicts)
+
+    def test_empty_batch(self):
+        assert verify_transcripts([]) == []
+
+    def test_single_job_batch(self):
+        session, file_id, _ = build_session("vbatch-single")
+        jobs = [audit_job(session, file_id)]
+        assert verify_transcripts(jobs) == scalar_verdicts(jobs)
+
+
+class TestAdversarialBatches:
+    def test_forged_signature_culprit_isolated(self):
+        session, file_id, _ = build_session("vbatch-forge")
+        jobs = [audit_job(session, file_id) for _ in range(5)]
+        commitment, s = jobs[2].transcript.signature
+        jobs[2] = tamper(
+            jobs[2], signature=(commitment, (s + 1) % TEST_GROUP.q)
+        )
+        verdicts = verify_transcripts(jobs)
+        assert verdicts == scalar_verdicts(jobs)
+        assert [verdict.signature_ok for verdict in verdicts] == [
+            True, True, False, True, True,
+        ]
+        assert not verdicts[2].accepted
+
+    def test_wrong_public_key_rejected(self):
+        session, file_id, _ = build_session("vbatch-wrongkey")
+        stranger = SchnorrKeyPair.generate(TEST_GROUP, seed=b"stranger")
+        jobs = [
+            audit_job(session, file_id),
+            audit_job(session, file_id, verifier_public_key=stranger.public),
+        ]
+        verdicts = verify_transcripts(jobs)
+        assert verdicts == scalar_verdicts(jobs)
+        assert [verdict.signature_ok for verdict in verdicts] == [True, False]
+
+    def test_corrupted_mac_bad_indices_exact(self):
+        # Full-corruption provider: the verifier signs what it was
+        # served, so the signature verifies while every MAC fails --
+        # bad_mac_indices must list the challenged indices exactly.
+        session, file_id, _ = build_session("vbatch-mac")
+        session.provider.set_strategy(
+            CorruptionAttack("home", 1.0, DeterministicRNG("vbatch-adv"))
+        )
+        jobs = [audit_job(session, file_id, k=4) for _ in range(3)]
+        verdicts = verify_transcripts(jobs)
+        assert verdicts == scalar_verdicts(jobs)
+        for job, verdict in zip(jobs, verdicts):
+            assert verdict.signature_ok
+            assert not verdict.macs_ok
+            assert verdict.bad_mac_indices == tuple(
+                job.transcript.challenge_indices()
+            )
+
+    def test_replayed_transcript_fails_freshness(self):
+        # An old transcript attached to a fresh request: stale nonce.
+        session, file_id, _ = build_session("vbatch-replay")
+        stale = audit_job(session, file_id)
+        fresh = audit_job(session, file_id)
+        replayed = dataclasses.replace(stale, request=fresh.request)
+        jobs = [fresh, replayed]
+        verdicts = verify_transcripts(jobs)
+        assert verdicts == scalar_verdicts(jobs)
+        assert verdicts[0].accepted
+        assert not verdicts[1].challenge_ok
+
+    def test_duplicated_indices_fail_challenge_check(self):
+        session, file_id, _ = build_session("vbatch-dup")
+        job = audit_job(session, file_id, k=3)
+        rounds = job.transcript.rounds
+        jobs = [job, tamper(job, rounds=(rounds[0],) + rounds[:2])]
+        verdicts = verify_transcripts(jobs)
+        assert verdicts == scalar_verdicts(jobs)
+        assert not verdicts[1].challenge_ok
+
+    def test_index_mismatched_round_skips_mac_batch(self):
+        # Segment echoes a different index than the round claims: bad
+        # by definition, exactly like the scalar short-circuit.
+        session, file_id, _ = build_session("vbatch-mismatch")
+        job = audit_job(session, file_id, k=3)
+        rounds = list(job.transcript.rounds)
+        lying = dataclasses.replace(
+            rounds[1],
+            segment=dataclasses.replace(
+                rounds[1].segment, index=rounds[1].segment.index + 1
+            ),
+        )
+        rounds[1] = lying
+        jobs = [tamper(job, rounds=tuple(rounds))]
+        verdicts = verify_transcripts(jobs)
+        assert verdicts == scalar_verdicts(jobs)
+        assert verdicts[0].bad_mac_indices == (lying.index,)
+
+    def test_mixed_population_matches_scalar_field_for_field(self):
+        """One batch holding every failure mode at once."""
+        session, file_id, _ = build_session("vbatch-mixed")
+        honest = [audit_job(session, file_id) for _ in range(3)]
+        commitment, s = honest[0].transcript.signature
+        forged = tamper(
+            audit_job(session, file_id),
+            signature=(commitment, (s + 1) % TEST_GROUP.q),
+        )
+        stale = dataclasses.replace(
+            audit_job(session, file_id),
+            request=audit_job(session, file_id).request,
+        )
+        slow = dataclasses.replace(
+            audit_job(session, file_id), rtt_max_ms=0.0001
+        )
+        session.provider.set_strategy(
+            CorruptionAttack("home", 1.0, DeterministicRNG("vbatch-adv2"))
+        )
+        corrupted = audit_job(session, file_id, k=4)
+        jobs = [honest[0], forged, honest[1], stale, corrupted, slow, honest[2]]
+        verdicts = verify_transcripts(jobs)
+        assert verdicts == scalar_verdicts(jobs)
+        assert [verdict.accepted for verdict in verdicts] == [
+            True, False, True, False, False, False, True,
+        ]
+        assert verdicts[4].bad_mac_indices == tuple(
+            corrupted.transcript.challenge_indices()
+        )

@@ -50,6 +50,49 @@ class TestCRY001VariableTimeCompare:
         )
         assert report.findings == []
 
+    def test_prf_derived_compare_flagged(self, lint_tree):
+        # The sentinel-POR bug shape: neither side is named like a
+        # digest, but the expected value is a keyed PRF output.
+        report = lint_tree(
+            {SRC: "def check(self, block, sentinel_id):\n"
+                  "    return block != self._sentinel_value(sentinel_id)\n"}
+        )
+        assert rule_ids_of(report) == ["CRY001"]
+        assert "PRF-derived" in report.findings[0].message
+
+    def test_prf_stream_compare_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "from repro.crypto.prf import prf_stream\n"
+                  "def check(key, got):\n"
+                  "    return got == prf_stream(key, b'x', b'y', 16)\n"}
+        )
+        assert rule_ids_of(report) == ["CRY001"]
+
+    def test_kdf_compare_flagged(self, lint_tree):
+        report = lint_tree(
+            {SRC: "def check(got, material):\n"
+                  "    return got == kdf_expand(material)\n"}
+        )
+        assert rule_ids_of(report) == ["CRY001"]
+
+    def test_ordinary_helper_call_allowed(self, lint_tree):
+        # Tight name pattern: a helper that merely computes a count is
+        # not PRF-derived material.
+        report = lint_tree(
+            {SRC: "def check(self, got):\n"
+                  "    return got == self.expected_blocks()\n"}
+        )
+        assert report.findings == []
+
+    def test_prf_named_variable_not_flagged(self, lint_tree):
+        # Only *calls* mark the expected side as freshly PRF-derived;
+        # plain variables stay governed by the digest-name pattern.
+        report = lint_tree(
+            {SRC: "def check(prf_label, want):\n"
+                  "    return prf_label == want\n"}
+        )
+        assert report.findings == []
+
 
 class TestCRY002EntropyScope:
     def test_secrets_outside_crypto_flagged(self, lint_tree):
@@ -103,6 +146,15 @@ class TestCRY003KeyExposure:
                   "@dataclass\n"
                   "class Device:\n"
                   "    public_key: bytes\n"}
+        )
+        assert report.findings == []
+
+    def test_qualified_public_key_field_allowed(self, lint_tree):
+        report = lint_tree(
+            {SRC: "from dataclasses import dataclass\n"
+                  "@dataclass\n"
+                  "class Job:\n"
+                  "    verifier_public_key: bytes\n"}
         )
         assert report.findings == []
 
