@@ -319,6 +319,124 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.core.session import GeoProofSession
+    from repro.crypto.rng import DeterministicRNG
+    from repro.errors import ReproError
+    from repro.geo.datasets import city
+    from repro.por.parameters import TEST_PARAMS
+    from repro.service import AuditDaemon
+
+    try:
+        session = GeoProofSession.build(
+            datacentre_location=city(args.home),
+            params=TEST_PARAMS,
+            min_rounds=args.rounds,
+            seed=args.seed,
+        )
+        data_rng = DeterministicRNG(f"{args.seed}-data")
+        file_ids = []
+        for i in range(args.files):
+            file_id = f"file-{i}".encode()
+            session.outsource(
+                file_id, data_rng.fork(str(i)).random_bytes(args.size)
+            )
+            file_ids.append(file_id)
+        daemon = AuditDaemon(
+            tpa=session.tpa,
+            verifier=session.verifier,
+            provider=session.provider,
+            host=args.host,
+            port=args.port,
+            flush_batch=args.flush_batch,
+            flush_ms=args.flush_ms,
+        )
+    except (ReproError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        await daemon.start()
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "host": daemon.host,
+                        "port": daemon.port,
+                        "files": [f.decode() for f in file_ids],
+                    }
+                )
+            )
+        else:
+            print(f"serving audits on {daemon.host}:{daemon.port}")
+            print(f"files: {', '.join(f.decode() for f in file_ids)}")
+        sys.stdout.flush()
+        try:
+            if args.max_seconds is not None:
+                await asyncio.sleep(args.max_seconds)
+            else:
+                await asyncio.Event().wait()  # until Ctrl-C
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    stats = daemon.stats
+    print(
+        f"served {stats.n_orders} orders "
+        f"({stats.n_errors} errors, {stats.n_flushes} flushes)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_audit_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.service import run_audit_client
+
+    plan = [
+        (file_id.encode(), args.rounds)
+        for _ in range(args.count)
+        for file_id in args.file_ids
+    ]
+    try:
+        verdicts = run_audit_client(args.host, args.port, plan)
+    except (ReproError, OSError) as exc:
+        # Connection refused, protocol violation, daemon-side error:
+        # the audit never completed, which is worse than a rejection.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        {
+            "file": file_id.decode(),
+            "accepted": verdict.accepted,
+            "max_rtt_ms": verdict.max_rtt_ms,
+            "reasons": verdict.failure_reasons,
+        }
+        for (file_id, _), verdict in zip(plan, verdicts)
+    ]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        for row in rows:
+            status = "PASS" if row["accepted"] else "FAIL"
+            extra = (
+                "" if row["accepted"] else f" ({', '.join(row['reasons'])})"
+            )
+            print(
+                f"{status} {row['file']} "
+                f"max RTT {row['max_rtt_ms']:.3f} ms{extra}"
+            )
+    return 0 if all(row["accepted"] for row in rows) else 1
+
+
 def _cmd_analyse(args: argparse.Namespace) -> int:
     from repro.analysis.security import analyse_deployment
     from repro.cloud.sla import SLAPolicy
@@ -535,6 +653,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one rule's title and rationale, then exit",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the audit daemon over a demo deployment"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 = pick a free port"
+    )
+    serve.add_argument("--flush-batch", type=int, default=64)
+    serve.add_argument("--flush-ms", type=float, default=5.0)
+    serve.add_argument(
+        "--files", type=int, default=3, help="demo files to outsource"
+    )
+    serve.add_argument("--size", type=int, default=4_000, help="file bytes")
+    serve.add_argument(
+        "--rounds", type=int, default=10, help="SLA default audit rounds"
+    )
+    serve.add_argument("--home", default="brisbane")
+    serve.add_argument("--seed", default="serve")
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="shut down after this long (default: run until Ctrl-C)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="announce {host, port, files} as one JSON line",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "audit-client", help="order audits from a running daemon"
+    )
+    client.add_argument(
+        "file_ids",
+        nargs="*",
+        default=["file-0"],
+        metavar="FILE_ID",
+        help="files to audit (default: file-0)",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument(
+        "--rounds", type=int, default=0, help="0 = the file's SLA default"
+    )
+    client.add_argument(
+        "--count", type=int, default=1, help="repeat the file list N times"
+    )
+    client.add_argument(
+        "--json", action="store_true", help="print verdicts as JSON"
+    )
+    client.set_defaults(func=_cmd_audit_client)
 
     analyse = subparsers.add_parser(
         "analyse", help="closed-form security analysis for a deployment"

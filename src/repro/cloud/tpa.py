@@ -44,7 +44,7 @@ from repro.errors import ConfigurationError
 from repro.por.parameters import PORParams
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuditOutcome:
     """One completed audit: request, transcript, verdict, timestamp."""
 
@@ -73,7 +73,7 @@ class FileRecord:
     sla: SLAPolicy
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _PendingAudit:
     """A protocol run awaiting its verdict (deferred-verify mode)."""
 
@@ -259,6 +259,56 @@ class ThirdPartyAuditor:
                 clock=clock,
             )
         )
+
+    def audit_deferred_many(
+        self,
+        file_ids: list[bytes],
+        verifier: VerifierDevice,
+        provider: CloudProvider,
+        *,
+        k: int | None = None,
+        rtt_max_ms: float | None = None,
+        region=None,
+        clock=None,
+    ) -> None:
+        """Run a batch of protocol phases; queue every transcript.
+
+        Equivalent to calling :meth:`audit_deferred` once per file id
+        (pinned by test): the nonce stream advances in file-id order and
+        all timed rounds run back to back on the shared clock.  The
+        batch path exists for throughput -- the verifier amortizes
+        challenge derivation, LAN arithmetic and signing across the
+        whole batch via :meth:`~repro.cloud.verifier.VerifierDevice.run_audits`.
+        """
+        if not file_ids:
+            return
+        requests: list[AuditRequest] = []
+        records = []
+        for file_id in file_ids:
+            record = self.record(file_id)
+            records.append(record)
+            requests.append(self.make_request(file_id, k))
+        runs = verifier.run_audits(requests, provider, clock=clock)
+        public_key = verifier.public_key
+        for record, request, run in zip(records, requests, runs):
+            job = TranscriptVerification(
+                transcript=run.transcript,
+                request=request,
+                verifier_public_key=public_key,
+                mac_key=record.mac_key,
+                params=record.params,
+                region=region if region is not None else record.sla.region,
+                rtt_max_ms=(
+                    rtt_max_ms if rtt_max_ms is not None else record.sla.rtt_max_ms
+                ),
+            )
+            self._pending.append(
+                _PendingAudit(
+                    job=job,
+                    started_ms=run.started_ms,
+                    finished_ms=run.finished_ms,
+                )
+            )
 
     @property
     def pending_count(self) -> int:

@@ -23,17 +23,44 @@ verifies content; the device only attests timing and position).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.cloud.provider import CloudProvider
 from repro.core.messages import AuditRequest, SignedTranscript, TimedRound
 from repro.crypto.rng import DeterministicRNG
-from repro.crypto.schnorr import SchnorrKeyPair, SchnorrPublicKey, schnorr_sign
+from repro.crypto.schnorr import (
+    SchnorrKeyPair,
+    SchnorrPublicKey,
+    schnorr_sign,
+    schnorr_sign_many,
+)
 from repro.errors import ConfigurationError
 from repro.geo.coords import GeoPoint
 from repro.geo.gps import GPSReceiver
 from repro.netsim.clock import SimClock
 from repro.netsim.latency import LANModel
+from repro.util.serialization import (
+    encode_float,
+    encode_length_prefixed,
+    encode_uint,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AuditRun:
+    """One audit's transcript plus its timed-phase boundaries.
+
+    :meth:`VerifierDevice.run_audits` returns these so a batch caller
+    (the TPA's deferred plane, the service dispatcher) can log the same
+    started/finished timestamps the scalar path reads off the clock
+    around each :meth:`VerifierDevice.run_audit` call.
+    """
+
+    transcript: SignedTranscript
+    started_ms: float
+    finished_ms: float
 
 
 class VerifierDevice:
@@ -153,3 +180,190 @@ class VerifierDevice:
             position=transcript.position,
             signature=signature,
         )
+
+    def run_audits(
+        self,
+        requests: Sequence[AuditRequest],
+        provider: CloudProvider,
+        *,
+        rng: DeterministicRNG | None = None,
+        clock: SimClock | None = None,
+    ) -> list[AuditRun]:
+        """Run a batch of audits; byte-identical to a :meth:`run_audit` loop.
+
+        The pipelined service plane's protocol phase.  Semantics are
+        exactly ``[run_audit(request) for request in requests]`` run
+        back to back on the shared clock (pinned by test) -- transcripts,
+        timings and every RNG draw match the scalar loop -- but the
+        per-audit setup is amortized:
+
+        * all challenge and jitter streams derive through one
+          :meth:`~repro.crypto.rng.DeterministicRNG.fork_many` sweep
+          (forks are stateless with respect to the parent, so batch
+          derivation is exact);
+        * LAN delay terms that do not depend on the draw (propagation,
+          switching, serialisation) are precomputed per payload size;
+        * signed payloads are encoded once, inline, and every signature
+          comes from one :func:`~repro.crypto.schnorr.schnorr_sign_many`
+          call over the amortized fixed-base table.
+
+        Returns one :class:`AuditRun` per request with the same
+        started/finished clock readings the scalar protocol loop
+        observes (signing happens after the last timed phase and does
+        not advance the clock, exactly like the scalar path where
+        signing is TPA-invisible arithmetic).
+        """
+        clock = clock if clock is not None else self.clock
+        shared_rng = rng or self._rng
+        if shared_rng is not None:
+            labels: list[str] = []
+            for request in requests:
+                session_label = request.nonce.hex()
+                labels.append(f"challenge-{session_label}")
+                labels.append(f"lan-jitter-{session_label}")
+            forks = shared_rng.fork_many(labels)
+            challenge_rngs = forks[0::2]
+            jitter_rngs = forks[1::2]
+        else:
+            # Scalar fallback construction: a fresh per-nonce parent.
+            challenge_rngs = []
+            jitter_rngs = []
+            for request in requests:
+                parent = DeterministicRNG(self.device_id + request.nonce)
+                session_label = request.nonce.hex()
+                challenge_rngs.append(parent.fork(f"challenge-{session_label}"))
+                jitter_rngs.append(parent.fork(f"lan-jitter-{session_label}"))
+
+        # LAN fast path: precompute the draw-independent delay terms.
+        # Only the stock LANModel formula is inlined; a custom latency
+        # model falls back to its own one_way_ms (still per-round, so
+        # custom models stay correct, just not amortized).
+        lan = self.lan
+        distance_km = self.lan_distance_km
+        inline_lan = type(lan) is LANModel
+        request_bytes = 16  # index + framing on the wire
+        if inline_lan:
+            # Same float association order as LANModel.one_way_ms:
+            # ((propagation + switching) + serialisation) + jitter.
+            lan_base = (
+                distance_km / lan.propagation_speed_km_per_ms
+                + lan.n_switches * lan.switch_delay_ms
+            )
+            bits_per_ms = lan.bandwidth_mbps * 1000.0
+            base_request = lan_base + (request_bytes * 8.0) / bits_per_ms
+            jitter_rate = 1.0 / lan.jitter_ms if lan.jitter_ms > 0 else None
+            base_by_size: dict[int, float] = {}
+
+        log = math.log
+        handle_request = provider.handle_request
+        now_ms = clock.now_ms
+        advance = clock.advance
+        device_prefix = b"geoproof-transcript-v1" + encode_length_prefixed(
+            self.device_id
+        )
+        file_prefix: dict[bytes, bytes] = {}
+
+        runs: list[AuditRun] = []
+        payloads: list[bytes] = []
+        partial: list[tuple[AuditRequest, tuple[TimedRound, ...], GeoPoint, float, float]] = []
+        from_bytes = int.from_bytes
+        for position, request in enumerate(requests):
+            started_ms = now_ms()
+            challenge = self.generate_challenge(request, challenge_rngs[position])
+            jitter_rng = jitter_rngs[position]
+            if inline_lan and jitter_rate is not None:
+                # Two 53-bit draws (7 bytes each) per round; pulling the
+                # whole audit's jitter bytes in one stream read is
+                # byte-identical to per-draw randbits(53) calls.
+                jitter_bytes = jitter_rng.random_bytes(14 * len(challenge))
+                joff = 0
+            rounds: list[TimedRound] = []
+            file_id = request.file_id
+            for index in challenge:
+                start_ms = now_ms()
+                if inline_lan:
+                    if jitter_rate is not None:
+                        u = (
+                            from_bytes(jitter_bytes[joff : joff + 7], "big")
+                            >> 3
+                        ) / 9007199254740992  # 2**53
+                        joff += 7
+                        advance(base_request + (-log(1.0 - u) / jitter_rate))
+                    else:
+                        advance(base_request)
+                else:
+                    advance(lan.one_way_ms(distance_km, request_bytes, jitter_rng))
+                serve = handle_request(file_id, index)
+                advance(serve.elapsed_ms)
+                segment = serve.segment
+                if inline_lan:
+                    size = segment.size_bytes
+                    base_response = base_by_size.get(size)
+                    if base_response is None:
+                        # Exact scalar association: (bytes*8.0)/(mbps*1000.0).
+                        base_response = lan_base + (size * 8.0) / bits_per_ms
+                        base_by_size[size] = base_response
+                    if jitter_rate is not None:
+                        u = (
+                            from_bytes(jitter_bytes[joff : joff + 7], "big")
+                            >> 3
+                        ) / 9007199254740992
+                        joff += 7
+                        advance(base_response + (-log(1.0 - u) / jitter_rate))
+                    else:
+                        advance(base_response)
+                else:
+                    advance(lan.one_way_ms(distance_km, segment.size_bytes, jitter_rng))
+                rounds.append(
+                    TimedRound(
+                        index=index,
+                        segment=segment,
+                        rtt_ms=now_ms() - start_ms,
+                    )
+                )
+            finished_ms = now_ms()
+            fix = self.gps.read_fix()
+
+            prefix = file_prefix.get(file_id)
+            if prefix is None:
+                prefix = device_prefix + encode_length_prefixed(file_id)
+                file_prefix[file_id] = prefix
+            parts = [
+                prefix,
+                encode_length_prefixed(request.nonce),
+                encode_uint(len(rounds)),
+            ]
+            for round_ in rounds:
+                parts.append(encode_uint(round_.index))
+                parts.append(round_.segment.wire_bytes())
+                parts.append(encode_float(round_.rtt_ms))
+            parts.append(encode_float(fix.position.latitude))
+            parts.append(encode_float(fix.position.longitude))
+            payloads.append(b"".join(parts))
+            partial.append(
+                (request, tuple(rounds), fix.position, started_ms, finished_ms)
+            )
+
+        signatures = schnorr_sign_many(self.keypair.private, payloads)
+        for (request, rounds_tuple, position_fix, started_ms, finished_ms), payload, signature in zip(
+            partial, payloads, signatures
+        ):
+            transcript = SignedTranscript(
+                device_id=self.device_id,
+                file_id=request.file_id,
+                nonce=request.nonce,
+                rounds=rounds_tuple,
+                position=position_fix,
+                signature=signature,
+            )
+            # Seed the payload memo: the TPA's verify plane and the
+            # service wire both ask for these exact bytes again.
+            object.__setattr__(transcript, "_signed_payload", payload)
+            runs.append(
+                AuditRun(
+                    transcript=transcript,
+                    started_ms=started_ms,
+                    finished_ms=finished_ms,
+                )
+            )
+        return runs

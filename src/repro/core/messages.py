@@ -17,19 +17,63 @@ verifies the Schnorr signature over exactly those bytes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.geo.coords import GeoPoint
 from repro.por.file_format import Segment
 from repro.util.serialization import (
+    decode_float,
+    decode_length_prefixed,
+    decode_uint,
     encode_float,
     encode_length_prefixed,
     encode_uint,
 )
 
+_M = TypeVar("_M")
 
-@dataclass(frozen=True)
+#: Leading magic of every signed transcript payload (and wire encoding).
+TRANSCRIPT_MAGIC = b"geoproof-transcript-v1"
+
+
+def decode_exact(
+    decoder: Callable[[bytes, int], tuple[_M, int]], data: bytes
+) -> _M:
+    """Decode exactly one message from ``data``; fail closed otherwise.
+
+    The service plane's frame bodies must each hold one whole message:
+    trailing bytes mean a concatenated or corrupted frame, and decoding
+    rejects it rather than silently ignoring the tail.
+    """
+    value, offset = decoder(data, 0)
+    if offset != len(data):
+        raise ProtocolError(
+            f"{len(data) - offset} trailing bytes after message"
+        )
+    return value
+
+
+def _encode_sigint(value: int) -> bytes:
+    """Length-prefixed minimal big-endian encoding of one signature int."""
+    if value < 0:
+        raise ProtocolError(f"signature component must be >= 0, got {value}")
+    return encode_length_prefixed(
+        value.to_bytes(max((value.bit_length() + 7) // 8, 1), "big")
+    )
+
+
+def _decode_sigint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode one signature int; non-minimal encodings fail closed."""
+    raw, offset = decode_length_prefixed(data, offset)
+    if not raw or (len(raw) > 1 and raw[0] == 0):
+        raise ProtocolError("non-canonical signature int on the wire")
+    return int.from_bytes(raw, "big"), offset
+
+
+@dataclass(frozen=True, slots=True)
 class AuditRequest:
     """TPA -> verifier: audit parameters for one protocol run."""
 
@@ -52,8 +96,34 @@ class AuditRequest:
                 f"nonce must be >= 8 bytes, got {len(self.nonce)}"
             )
 
+    def to_wire(self) -> bytes:
+        """Canonical wire encoding (one service frame body)."""
+        return (
+            encode_length_prefixed(self.file_id)
+            + encode_uint(self.n_segments)
+            + encode_uint(self.k)
+            + encode_length_prefixed(self.nonce)
+        )
 
-@dataclass(frozen=True)
+    @classmethod
+    def from_wire(
+        cls, data: bytes, offset: int = 0
+    ) -> tuple["AuditRequest", int]:
+        """Parse a request; invalid field combinations fail closed."""
+        file_id, offset = decode_length_prefixed(data, offset)
+        n_segments, offset = decode_uint(data, offset)
+        k, offset = decode_uint(data, offset)
+        nonce, offset = decode_length_prefixed(data, offset)
+        try:
+            request = cls(
+                file_id=file_id, n_segments=n_segments, k=k, nonce=nonce
+            )
+        except ConfigurationError as exc:
+            raise ProtocolError(f"invalid audit request: {exc}") from exc
+        return request, offset
+
+
+@dataclass(frozen=True, slots=True)
 class TimedRound:
     """One distance-bounding round: challenge index, response, RTT."""
 
@@ -68,6 +138,20 @@ class TimedRound:
             + self.segment.wire_bytes()
             + encode_float(self.rtt_ms)
         )
+
+    to_wire = wire_bytes
+
+    @classmethod
+    def from_wire(
+        cls, data: bytes, offset: int = 0
+    ) -> tuple["TimedRound", int]:
+        """Parse one round; a non-finite timing fails closed."""
+        index, offset = decode_uint(data, offset)
+        segment, offset = Segment.from_wire(data, offset)
+        rtt_ms, offset = decode_float(data, offset)
+        if not math.isfinite(rtt_ms):
+            raise ProtocolError(f"non-finite round time: {rtt_ms}")
+        return cls(index=index, segment=segment, rtt_ms=rtt_ms), offset
 
 
 @dataclass(frozen=True)
@@ -116,9 +200,19 @@ class SignedTranscript:
         Covers device id, file id, nonce, every round (index, segment
         payload+tag, timing) and the GPS position -- altering any of
         them invalidates the signature.
+
+        The encoding is memoized on the (frozen) instance: the device
+        encodes it to sign, the TPA re-encodes the same instance to
+        verify, and the service plane encodes it again for the wire,
+        so one transcript is asked for its payload several times.
+        ``dataclasses.replace`` builds a fresh instance, so a tampered
+        copy never inherits the original's cache.
         """
+        cached = self.__dict__.get("_signed_payload")
+        if cached is not None:
+            return cached
         parts = [
-            b"geoproof-transcript-v1",
+            TRANSCRIPT_MAGIC,
             encode_length_prefixed(self.device_id),
             encode_length_prefixed(self.file_id),
             encode_length_prefixed(self.nonce),
@@ -127,4 +221,65 @@ class SignedTranscript:
         parts.extend(round_.wire_bytes() for round_ in self.rounds)
         parts.append(encode_float(self.position.latitude))
         parts.append(encode_float(self.position.longitude))
-        return b"".join(parts)
+        payload = b"".join(parts)
+        # Frozen dataclass: write the cache the same way cached_property
+        # would (eq/hash/repr read fields only, never __dict__).
+        object.__setattr__(self, "_signed_payload", payload)
+        return payload
+
+    def to_wire(self) -> bytes:
+        """Wire encoding: the signed payload, then the signature.
+
+        The TPA side of the wire verifies the Schnorr signature over
+        exactly the payload bytes it received, so the encoding *is* the
+        canonical signed payload followed by the two signature ints.
+        """
+        e, s = self.signature
+        return self.signed_payload() + _encode_sigint(e) + _encode_sigint(s)
+
+    @classmethod
+    def from_wire(
+        cls, data: bytes, offset: int = 0
+    ) -> tuple["SignedTranscript", int]:
+        """Parse a transcript; every malformed shape fails closed.
+
+        The decoded instance's payload cache is seeded with the exact
+        bytes consumed -- the fixed-width/length-prefixed encoding is
+        canonical (each value has exactly one accepted encoding), so
+        those bytes equal a re-encode, and signature verification runs
+        over precisely what crossed the wire.
+        """
+        start = offset
+        magic_end = offset + len(TRANSCRIPT_MAGIC)
+        if data[offset:magic_end] != TRANSCRIPT_MAGIC:
+            raise ProtocolError("bad transcript magic")
+        offset = magic_end
+        device_id, offset = decode_length_prefixed(data, offset)
+        file_id, offset = decode_length_prefixed(data, offset)
+        nonce, offset = decode_length_prefixed(data, offset)
+        n_rounds, offset = decode_uint(data, offset)
+        rounds: list[TimedRound] = []
+        for _ in range(n_rounds):
+            round_, offset = TimedRound.from_wire(data, offset)
+            rounds.append(round_)
+        latitude, offset = decode_float(data, offset)
+        longitude, offset = decode_float(data, offset)
+        payload_end = offset
+        sig_e, offset = _decode_sigint(data, offset)
+        sig_s, offset = _decode_sigint(data, offset)
+        try:
+            position = GeoPoint(latitude, longitude)
+        except ConfigurationError as exc:
+            raise ProtocolError(f"invalid GPS position: {exc}") from exc
+        transcript = cls(
+            device_id=device_id,
+            file_id=file_id,
+            nonce=nonce,
+            rounds=tuple(rounds),
+            position=position,
+            signature=(sig_e, sig_s),
+        )
+        object.__setattr__(
+            transcript, "_signed_payload", bytes(data[start:payload_end])
+        )
+        return transcript, offset

@@ -137,12 +137,16 @@ class GeoProofSession:
         margin_ms: float = 0.0,
         min_rounds: int = 50,
         seed: str = "geoproof-session",
+        tpa_max_log: int | None = None,
     ) -> "GeoProofSession":
         """Build the standard single-site deployment.
 
         The SLA region defaults to a 100 km circle around the data
         centre; the segment-size term of the timing budget is taken
-        from ``params``.
+        from ``params``.  ``tpa_max_log`` bounds the TPA's audit log
+        to a ring buffer -- long-running deployments (the audit
+        daemon, sustained benchmarks) should set it so memory stays
+        flat across millions of audits.
         """
         params = params or PORParams()
         rng = DeterministicRNG(seed)
@@ -166,7 +170,7 @@ class GeoProofSession:
             clock=clock,
             rng=rng.fork("verifier"),
         )
-        tpa = ThirdPartyAuditor("tpa", rng.fork("tpa"))
+        tpa = ThirdPartyAuditor("tpa", rng.fork("tpa"), max_log=tpa_max_log)
         return cls(
             provider=provider,
             verifier=verifier,

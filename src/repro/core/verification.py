@@ -30,15 +30,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import math
+
 from repro.core.messages import AuditRequest, SignedTranscript
 from repro.crypto.mac import mac_verify, mac_verify_many
 from repro.crypto.schnorr import SchnorrPublicKey, schnorr_verify, schnorr_verify_many
-from repro.errors import VerificationError
+from repro.errors import ProtocolError, VerificationError
+from repro.util.serialization import (
+    decode_float,
+    decode_uint,
+    decode_uint_list,
+    encode_float,
+    encode_uint,
+    encode_uint_list,
+)
 from repro.geo.regions import Region
 from repro.por.parameters import PORParams
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GeoProofVerdict:
     """Outcome of the four-step TPA verification."""
 
@@ -67,6 +77,65 @@ class GeoProofVerdict:
         if not self.challenge_ok:
             reasons.append("challenge")
         return reasons
+
+    def to_wire(self) -> bytes:
+        """Canonical wire encoding (the daemon's verdict reply body)."""
+        flags = (
+            (self.signature_ok << 0)
+            | (self.position_ok << 1)
+            | (self.macs_ok << 2)
+            | (self.timing_ok << 3)
+            | (self.challenge_ok << 4)
+        )
+        return (
+            encode_uint(flags)
+            + encode_float(self.max_rtt_ms)
+            + encode_float(self.rtt_max_ms)
+            + encode_uint_list(list(self.bad_mac_indices))
+        )
+
+    @classmethod
+    def from_wire(
+        cls, data: bytes, offset: int = 0
+    ) -> tuple["GeoProofVerdict", int]:
+        """Parse a verdict; inconsistent flag sets fail closed.
+
+        ``accepted`` is not carried on the wire -- it is recomputed as
+        the conjunction of the five checks, so a corrupted frame can
+        never claim acceptance while reporting a failed check.
+        """
+        flags, offset = decode_uint(data, offset)
+        if flags >= 1 << 5:
+            raise ProtocolError(f"unknown verdict flags: {flags:#x}")
+        max_rtt_ms, offset = decode_float(data, offset)
+        rtt_max_ms, offset = decode_float(data, offset)
+        if not (math.isfinite(max_rtt_ms) and math.isfinite(rtt_max_ms)):
+            raise ProtocolError("non-finite timing in verdict")
+        bad_macs, offset = decode_uint_list(data, offset)
+        macs_ok = bool(flags & 4)
+        if macs_ok and bad_macs:
+            raise ProtocolError("verdict claims macs_ok but lists bad MACs")
+        checks = (
+            bool(flags & 1),
+            bool(flags & 2),
+            macs_ok,
+            bool(flags & 8),
+            bool(flags & 16),
+        )
+        return (
+            cls(
+                accepted=all(checks),
+                signature_ok=checks[0],
+                position_ok=checks[1],
+                macs_ok=macs_ok,
+                timing_ok=checks[3],
+                challenge_ok=checks[4],
+                max_rtt_ms=max_rtt_ms,
+                rtt_max_ms=rtt_max_ms,
+                bad_mac_indices=tuple(bad_macs),
+            ),
+            offset,
+        )
 
 
 def verify_transcript(
@@ -142,7 +211,7 @@ def verify_transcript(
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TranscriptVerification:
     """One pending verification job for :func:`verify_transcripts`.
 
@@ -210,20 +279,33 @@ def verify_transcripts(
     for (mac_key, file_id, tag_bits), entries in by_mac.items():
         if not entries:
             continue
-        rounds = [
-            jobs[position].transcript.rounds[round_position]
-            for position, round_position in entries
-        ]
+        # Audits re-challenge the same stored segments, so batches are
+        # full of repeats; identical (index, payload, tag) triples share
+        # one recomputation.  The recomputed tag is a pure function of
+        # the triple (plus the group key), so deduplication cannot
+        # change any verdict.
+        slot_of: dict[tuple[int, bytes, bytes], int] = {}
+        unique_rounds: list = []
+        membership: list[int] = []
+        for position, round_position in entries:
+            round_ = jobs[position].transcript.rounds[round_position]
+            triple = (round_.index, round_.segment.payload, round_.segment.tag)
+            slot = slot_of.get(triple)
+            if slot is None:
+                slot = len(unique_rounds)
+                slot_of[triple] = slot
+                unique_rounds.append(round_)
+            membership.append(slot)
         tag_oks = mac_verify_many(
             mac_key,
-            [round_.segment.payload for round_ in rounds],
-            [round_.segment.tag for round_ in rounds],
+            [round_.segment.payload for round_ in unique_rounds],
+            [round_.segment.tag for round_ in unique_rounds],
             file_id,
-            indices=[round_.index for round_ in rounds],
+            indices=[round_.index for round_ in unique_rounds],
             tag_bits=tag_bits,
         )
-        for (position, round_position), ok in zip(entries, tag_oks):
-            round_oks[position][round_position] = ok
+        for (position, round_position), slot in zip(entries, membership):
+            round_oks[position][round_position] = tag_oks[slot]
 
     # --- Assemble verdicts in input order.
     out: list[GeoProofVerdict] = []

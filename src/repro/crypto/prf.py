@@ -40,6 +40,19 @@ def prf(key: bytes, label: bytes, message: bytes = b"") -> bytes:
     return hmac.new(key, label + b"\x00" + message, hashlib.sha256).digest()
 
 
+def prf_base(key: bytes, label: bytes) -> "hmac.HMAC":
+    """A primed HMAC state for repeated ``prf(key, label, *)`` calls.
+
+    ``base.copy().update(message); .digest()`` equals
+    ``prf(key, label, message)`` byte for byte, but the two key-pad
+    compressions are paid once per (key, label) instead of per call.
+    The DRBG caches one of these per stream so block refills on hot
+    audit paths cost only the message compressions.
+    """
+    _check_label(label)
+    return hmac.new(key, label + b"\x00", hashlib.sha256)
+
+
 def prf_many(
     key: bytes, label: bytes, messages: Iterable[bytes]
 ) -> Iterator[bytes]:

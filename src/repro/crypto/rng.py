@@ -11,9 +11,9 @@ the code needs.  It intentionally mirrors a subset of
 from __future__ import annotations
 
 import math
-from typing import TypeVar
+from typing import Sequence, TypeVar
 
-from repro.crypto.prf import prf
+from repro.crypto.prf import prf, prf_base, prf_many
 from repro.errors import ConfigurationError
 
 T = TypeVar("T")
@@ -44,6 +44,7 @@ class DeterministicRNG:
         self._key = prf(b"drbg-init", b"seed", seed)
         self._counter = 0
         self._buffer = b""
+        self._gen_base = None
 
     def fork(self, label: str) -> "DeterministicRNG":
         """Derive an independent child RNG bound to ``label``."""
@@ -51,19 +52,60 @@ class DeterministicRNG:
         child._key = prf(self._key, b"drbg-fork", label.encode("utf-8"))
         child._counter = 0
         child._buffer = b""
+        child._gen_base = None
         return child
+
+    def fork_many(self, labels: Sequence[str]) -> list["DeterministicRNG"]:
+        """Derive one child per label, sharing the PRF key schedule.
+
+        Forking is stateless with respect to the parent (a child's key
+        depends only on the parent key and the label), so deriving a
+        whole batch through one :func:`~repro.crypto.prf.prf_many`
+        sweep yields children byte-identical to per-label
+        :meth:`fork` calls, in label order -- this is how the batch
+        audit plane derives every session's challenge and jitter
+        streams in one pass.
+        """
+        children: list[DeterministicRNG] = []
+        for key in prf_many(
+            self._key,
+            b"drbg-fork",
+            [label.encode("utf-8") for label in labels],
+        ):
+            child = object.__new__(DeterministicRNG)
+            child._key = key
+            child._counter = 0
+            child._buffer = b""
+            child._gen_base = None
+            children.append(child)
+        return children
 
     # -- raw output -----------------------------------------------------
 
     def random_bytes(self, n: int) -> bytes:
-        """Return ``n`` pseudorandom bytes."""
+        """Return ``n`` pseudorandom bytes.
+
+        Output block *i* is ``prf(key, b"drbg-gen", uint64(i))``; the
+        primed HMAC base is cached per stream, so refills pay only the
+        message compressions (byte-identical to per-block :func:`prf`).
+        """
         if n < 0:
             raise ConfigurationError(f"n must be >= 0, got {n}")
-        while len(self._buffer) < n:
-            block = prf(self._key, b"drbg-gen", self._counter.to_bytes(8, "big"))
-            self._counter += 1
-            self._buffer += block
-        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        buffer = self._buffer
+        if len(buffer) < n:
+            base = self._gen_base
+            if base is None:
+                base = self._gen_base = prf_base(self._key, b"drbg-gen")
+            counter = self._counter
+            parts = [buffer]
+            for _ in range((n - len(buffer) + 31) // 32):
+                block = base.copy()
+                block.update(counter.to_bytes(8, "big"))
+                parts.append(block.digest())
+                counter += 1
+            self._counter = counter
+            buffer = b"".join(parts)
+        out, self._buffer = buffer[:n], buffer[n:]
         return out
 
     def randbits(self, bits: int) -> int:
@@ -71,8 +113,15 @@ class DeterministicRNG:
         if bits <= 0:
             raise ConfigurationError(f"bits must be positive, got {bits}")
         n_bytes = (bits + 7) // 8
-        value = int.from_bytes(self.random_bytes(n_bytes), "big")
-        return value >> (8 * n_bytes - bits)
+        # Fast path: serve straight from the buffer (the common case on
+        # audit hot loops); identical bytes to random_bytes(n_bytes).
+        buffer = self._buffer
+        if len(buffer) >= n_bytes:
+            chunk = buffer[:n_bytes]
+            self._buffer = buffer[n_bytes:]
+        else:
+            chunk = self.random_bytes(n_bytes)
+        return int.from_bytes(chunk, "big") >> (8 * n_bytes - bits)
 
     # -- integer sampling ------------------------------------------------
 
@@ -108,8 +157,30 @@ class DeterministicRNG:
             )
         swapped: dict[int, int] = {}
         out: list[int] = []
+        from_bytes = int.from_bytes
         for i in range(k):
-            j = i + self.randrange(population - i)
+            # Inlined randrange(population - i): identical byte
+            # consumption and rejection pattern, without the two
+            # method calls per draw (challenge derivation is on the
+            # audit hot path).
+            upper = population - i
+            if upper == 1:
+                j = i
+            else:
+                bits = upper.bit_length()
+                n_bytes = (bits + 7) >> 3
+                shift = (n_bytes << 3) - bits
+                while True:
+                    buffer = self._buffer
+                    if len(buffer) >= n_bytes:
+                        chunk = buffer[:n_bytes]
+                        self._buffer = buffer[n_bytes:]
+                    else:
+                        chunk = self.random_bytes(n_bytes)
+                    candidate = from_bytes(chunk, "big") >> shift
+                    if candidate < upper:
+                        j = i + candidate
+                        break
             out.append(swapped.get(j, j))
             swapped[j] = swapped.get(i, i)
         return out

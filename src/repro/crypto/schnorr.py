@@ -24,17 +24,22 @@ an invalid signature survives the combined check with probability
 Three precomputation strategies back the hot paths:
 
 * **fixed-base windowed tables** (cached per group for ``g`` and per
-  public key for ``y``): ``base^(d * 16^i)`` for every window digit,
-  so an exponentiation is ~q_bits/4 modular multiplies and zero
-  squarings.  Used by ``schnorr_sign``/``schnorr_sign_many`` and for
-  the two aggregated exponents of a batch.
+  public key for ``y``): ``base^(d * 2^(w*i))`` for every window
+  digit, so an exponentiation is ~q_bits/w modular multiplies and
+  zero squarings.  The per-group generator table uses 8-bit windows
+  (the group is a process-wide singleton, so the bigger build
+  amortizes); per-key tables stay at 4 bits.  Used by
+  ``schnorr_sign``/``schnorr_sign_many`` and for the two aggregated
+  exponents of a batch.
 * **Shamir simultaneous double-exponentiation** (16-entry joint table
   ``g^a * y^b``, cached per public key): single verifies evaluate
   ``g^s * y^(q-e)`` in one pass with shared squarings instead of two
   independent modexps.
 * **digit-bucketed multi-exponentiation** for the ``prod R_i^(z_i)``
-  term: bases are bucketed by base-16 digit of their exponent, so the
-  per-signature cost is ~16 multiplies regardless of batch size.
+  term: bases are bucketed by digit of their exponent, so the
+  per-signature cost is a handful of multiplies regardless of batch
+  size (4-bit digits normally, 8-bit once the batch is large enough
+  to amortize the bigger bucket combine).
 
 The default parameters are a 1024-bit prime with a 256-bit subgroup,
 generated once and embedded below (DSA-style (p, q, g) triple).  A
@@ -57,6 +62,19 @@ from repro.errors import ConfigurationError, SignatureError
 _WINDOW_BITS = 4
 _WINDOW_MASK = (1 << _WINDOW_BITS) - 1
 
+# Wider window for the per-*group* generator table: 255 multiples per
+# row halves the multiplies per exponentiation (~exp_bits/8), at a
+# one-time table build cost that only pays off for state shared across
+# a whole process (the group is a module singleton; a per-key table
+# would pay the build for every key it meets).
+_WIDE_WINDOW_BITS = 8
+
+# Batch size at which the multi-exponentiation switches to 8-bit digit
+# buckets: the per-base cost halves, but the fixed bucket-combine cost
+# grows 16x, so small batches (and bisection leaves) stay on 4-bit
+# windows.
+_MULTI_EXP_WIDE_THRESHOLD = 512
+
 # Size of the random-linear-combination batch randomizers.  An invalid
 # signature passes the combined check only if it lands in the kernel of
 # a random functional over Z_q, i.e. with probability ~2^-64.  The
@@ -68,19 +86,27 @@ _RANDOMIZER_BITS = 64
 class _FixedBaseTable:
     """Windowed precomputation for powers of one fixed base mod p.
 
-    ``rows[i][d] == base^(d << (4*i)) mod p`` for digits ``d`` in
-    ``1..15``; ``pow(e)`` multiplies one row entry per nonzero base-16
-    digit of ``e`` -- no squarings at all.  Rows extend lazily if an
-    exponent outgrows the initial allocation.
+    ``rows[i][d] == base^(d << (w*i)) mod p`` for digits ``d`` in
+    ``1..2^w - 1``; ``pow(e)`` multiplies one row entry per nonzero
+    base-``2^w`` digit of ``e`` -- no squarings at all.  Rows extend
+    lazily if an exponent outgrows the initial allocation.
     """
 
-    __slots__ = ("_p", "_rows", "_next_base")
+    __slots__ = ("_p", "_rows", "_next_base", "_window_bits", "_window_mask")
 
-    def __init__(self, base: int, p: int, exp_bits: int) -> None:
+    def __init__(
+        self,
+        base: int,
+        p: int,
+        exp_bits: int,
+        window_bits: int = _WINDOW_BITS,
+    ) -> None:
         self._p = p
         self._rows: list[list[int]] = []
         self._next_base = base % p
-        self._extend_to((exp_bits + _WINDOW_BITS - 1) // _WINDOW_BITS)
+        self._window_bits = window_bits
+        self._window_mask = (1 << window_bits) - 1
+        self._extend_to((exp_bits + window_bits - 1) // window_bits)
 
     def _extend_to(self, n_rows: int) -> None:
         p = self._p
@@ -88,30 +114,31 @@ class _FixedBaseTable:
             b = self._next_base
             row = [1, b]
             acc = b
-            for _ in range(_WINDOW_MASK - 1):
+            for _ in range(self._window_mask - 1):
                 acc = acc * b % p
                 row.append(acc)
             self._rows.append(row)
-            # base for the next row: b^16 via four squarings.
-            b = b * b % p
-            b = b * b % p
-            b = b * b % p
-            self._next_base = b * b % p
+            # base for the next row: b^(2^w) via w squarings.
+            for _ in range(self._window_bits):
+                b = b * b % p
+            self._next_base = b
 
     def pow(self, exponent: int) -> int:
         """Return ``base^exponent mod p`` (exponent must be >= 0)."""
         p = self._p
         rows = self._rows
-        needed = (exponent.bit_length() + _WINDOW_BITS - 1) // _WINDOW_BITS
+        window_bits = self._window_bits
+        mask = self._window_mask
+        needed = (exponent.bit_length() + window_bits - 1) // window_bits
         if needed > len(rows):
             self._extend_to(needed)
         acc = 1
         i = 0
         while exponent:
-            d = exponent & _WINDOW_MASK
+            d = exponent & mask
             if d:
                 acc = acc * rows[i][d] % p
-            exponent >>= _WINDOW_BITS
+            exponent >>= window_bits
             i += 1
         return acc
 
@@ -146,8 +173,12 @@ class SchnorrGroup:
     def _g_table(self) -> _FixedBaseTable:
         # cached_property writes the instance __dict__ directly, which
         # bypasses the frozen __setattr__; the table is derived state,
-        # not a field, so eq/hash are unaffected.
-        return _FixedBaseTable(self.g, self.p, self.q.bit_length())
+        # not a field, so eq/hash are unaffected.  Wide windows: groups
+        # are module singletons, so the bigger build cost is paid once
+        # per process and every signature saves half its multiplies.
+        return _FixedBaseTable(
+            self.g, self.p, self.q.bit_length(), _WIDE_WINDOW_BITS
+        )
 
 
 def _generate_group(p_bits: int, q_bits: int, seed: int) -> SchnorrGroup:
@@ -408,38 +439,46 @@ def _multi_exp(p: int, bases: Sequence[int], exponents: Sequence[int]) -> int:
     """``prod bases[i]^exponents[i] mod p`` for small exponents.
 
     Digit-bucketed interleaving: each base is multiplied into the
-    bucket of its exponent's base-16 digits, then buckets combine with
-    the sum-of-powers trick and one shared squaring chain.  Cost is
-    ~(exp_bits/4) multiplies per base plus a fixed ~600-multiply
-    combine -- independent of batch size.
+    bucket of its exponent's digits, then buckets combine with the
+    sum-of-powers trick and one shared squaring chain.  Cost is
+    ~(exp_bits/w) multiplies per base plus a fixed combine that grows
+    with ``2^w`` -- hence 4-bit digits for small batches and 8-bit
+    digits past ``_MULTI_EXP_WIDE_THRESHOLD`` bases.
     """
     if not bases:
         return 1
+    # Wider digits once the batch is big enough to amortize the larger
+    # fixed combine (the result is the same product either way).
+    if len(bases) >= _MULTI_EXP_WIDE_THRESHOLD:
+        window_bits = _WIDE_WINDOW_BITS
+    else:
+        window_bits = _WINDOW_BITS
+    mask = (1 << window_bits) - 1
     n_windows = (
-        max(e.bit_length() for e in exponents) + _WINDOW_BITS - 1
-    ) // _WINDOW_BITS
+        max(e.bit_length() for e in exponents) + window_bits - 1
+    ) // window_bits
     if n_windows == 0:
         return 1
-    buckets = [[1] * (_WINDOW_MASK + 1) for _ in range(n_windows)]
+    buckets = [[1] * (mask + 1) for _ in range(n_windows)]
     for base, exponent in zip(bases, exponents):
         w = 0
         while exponent:
-            d = exponent & _WINDOW_MASK
+            d = exponent & mask
             if d:
                 row = buckets[w]
                 row[d] = row[d] * base % p
-            exponent >>= _WINDOW_BITS
+            exponent >>= window_bits
             w += 1
     acc = 1
     for w in range(n_windows - 1, -1, -1):
         if w != n_windows - 1:
-            for _ in range(_WINDOW_BITS):
+            for _ in range(window_bits):
                 acc = acc * acc % p
         # window value = prod_d buckets[w][d]^d via running suffix products.
         row = buckets[w]
         running = 1
         window_val = 1
-        for d in range(_WINDOW_MASK, 0, -1):
+        for d in range(mask, 0, -1):
             bucket = row[d]
             if bucket != 1:
                 running = running * bucket % p

@@ -46,6 +46,14 @@ class BlockNotFoundError(StorageError):
     """A requested block/segment index does not exist on the server."""
 
 
+class StorageUnavailableError(StorageError):
+    """A storage backend is (transiently) unable to serve lookups.
+
+    The service plane's provider registry counts these towards a
+    backend's health; K consecutive failures mark it unhealthy and
+    route audits to the fallback chain."""
+
+
 class ProtocolError(ReproError):
     """Base class for protocol-level failures (malformed messages,
     out-of-order phases, etc.)."""

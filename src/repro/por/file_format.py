@@ -35,12 +35,22 @@ class Segment:
     tag: bytes
 
     def wire_bytes(self) -> bytes:
-        """Canonical encoding sent over the simulated wire."""
-        return (
+        """Canonical encoding sent over the simulated wire.
+
+        Memoized on the (frozen) instance: audit hot paths encode the
+        same stored segment once per challenged round, and the cache
+        turns the repeats into a dict hit.
+        """
+        cached = self.__dict__.get("_wire_bytes")
+        if cached is not None:
+            return cached
+        encoded = (
             encode_uint(self.index)
             + encode_length_prefixed(self.payload)
             + encode_length_prefixed(self.tag)
         )
+        object.__setattr__(self, "_wire_bytes", encoded)
+        return encoded
 
     @classmethod
     def from_wire(cls, data: bytes, offset: int = 0) -> tuple["Segment", int]:

@@ -1,0 +1,176 @@
+"""Tenant-side client for the audit daemon.
+
+:class:`AuditClient` keeps one TCP connection and pipelines orders
+over it: every order gets a fresh correlation id, a future parked in a
+table, and a slot in a single batched write; a background read loop
+resolves futures as reply frames arrive.  :meth:`AuditClient.audit`
+awaits one verdict, :meth:`AuditClient.audit_many` fires a whole batch
+in one socket write and gathers the replies -- that is the shape the
+throughput benchmark drives.
+
+A daemon-side protocol error with order id 0 is not attributable to
+any one order; the client fails *every* pending future with it, since
+the daemon will drop the connection right after.
+
+:func:`run_audit_client` wraps the asyncio dance for synchronous
+callers (the CLI and the example script).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from repro.core.verification import GeoProofVerdict
+from repro.errors import ConfigurationError, ProtocolError
+from repro.service.framing import FrameParser, encode_frame
+from repro.service.wire import AuditOrder, ErrorReply, decode_reply
+
+#: One socket read's worth of bytes.
+_READ_BYTES = 1 << 16
+
+
+class AuditServiceError(ProtocolError):
+    """The daemon answered an order with an :class:`ErrorReply`."""
+
+
+class AuditClient:
+    """One pipelined connection to an :class:`~repro.service.server.AuditDaemon`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._read_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_order_id = 1
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            raise ConfigurationError("client already connected")
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._read_task = asyncio.create_task(
+            self._read_loop(), name="geoproof-client-read"
+        )
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        if reader is None:  # closed before the task was scheduled
+            return
+        parser = FrameParser()
+        error: Exception = ConnectionError("connection closed by daemon")
+        try:
+            while True:
+                chunk = await reader.read(_READ_BYTES)
+                if not chunk:
+                    break
+                for body in parser.feed(chunk):
+                    self._on_reply(decode_reply(body))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except ProtocolError as exc:
+            error = exc
+        finally:
+            self._fail_all(error)
+
+    def _on_reply(self, reply) -> None:
+        if isinstance(reply, ErrorReply) and reply.order_id == 0:
+            # Not attributable to one order: the daemon hit a protocol
+            # error and is about to drop the connection.
+            self._fail_all(AuditServiceError(reply.message))
+            return
+        future = self._pending.pop(reply.order_id, None)
+        if future is None or future.done():
+            return
+        if isinstance(reply, ErrorReply):
+            future.set_exception(AuditServiceError(reply.message))
+        else:
+            future.set_result(reply.verdict)
+
+    def _fail_all(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    def _enqueue(self, file_id: bytes, k: int) -> tuple[bytes, asyncio.Future]:
+        order_id = self._next_order_id
+        self._next_order_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[order_id] = future
+        return encode_frame(AuditOrder(order_id, file_id, k).to_wire()), future
+
+    async def audit(self, file_id: bytes, k: int = 0) -> GeoProofVerdict:
+        """Order one audit (``k=0`` = SLA default) and await its verdict."""
+        results = await self.audit_many([(file_id, k)])
+        return results[0]
+
+    async def submit_many(
+        self, orders: Sequence[tuple[bytes, int]]
+    ) -> list[asyncio.Future]:
+        """Write a batch of orders now; return one future per order.
+
+        The low-level pipelining primitive: callers that want per-order
+        completion times (the daemon benchmark) attach their own
+        callbacks instead of gathering.
+        """
+        if self._writer is None:
+            raise ConfigurationError("client not connected")
+        frames: list[bytes] = []
+        futures: list[asyncio.Future] = []
+        for file_id, k in orders:
+            frame, future = self._enqueue(file_id, k)
+            frames.append(frame)
+            futures.append(future)
+        self._writer.write(b"".join(frames))
+        await self._writer.drain()
+        return futures
+
+    async def audit_many(
+        self, orders: Sequence[tuple[bytes, int]]
+    ) -> list[GeoProofVerdict]:
+        """Pipeline a batch of orders in one write; gather all verdicts.
+
+        Raises :class:`AuditServiceError` if any order fails (the
+        first failure, in submission order, wins).
+        """
+        return list(await asyncio.gather(*await self.submit_many(orders)))
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._writer = None
+        self._reader = None
+        if self._read_task is not None:
+            await self._read_task
+            self._read_task = None
+        self._fail_all(ConnectionError("client closed"))
+
+    async def __aenter__(self) -> "AuditClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+def run_audit_client(
+    host: str,
+    port: int,
+    orders: Sequence[tuple[bytes, int]],
+) -> list[GeoProofVerdict]:
+    """Synchronous one-shot: connect, pipeline ``orders``, disconnect."""
+
+    async def _run() -> list[GeoProofVerdict]:
+        async with AuditClient(host, port) as client:
+            return await client.audit_many(orders)
+
+    return asyncio.run(_run())

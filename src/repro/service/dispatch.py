@@ -1,0 +1,225 @@
+"""The pipelined audit plane: size-or-deadline batching over the TPA.
+
+Orders from every connection land on one shared queue; the dispatcher
+collects them into a batch and flushes when either trigger fires:
+
+* **size** -- ``flush_batch`` orders are waiting, or
+* **deadline** -- ``flush_ms`` of wall time passed since the batch
+  opened (a lone order is never parked indefinitely).
+
+One flush is two amortized sweeps: the whole batch's protocol phases
+run through :meth:`~repro.cloud.tpa.ThirdPartyAuditor.audit_deferred_many`
+(one ``fork_many`` derives every challenge/jitter stream, one batched
+Schnorr signing pass), then one
+:meth:`~repro.cloud.tpa.ThirdPartyAuditor.flush_verdicts` settles every
+verdict (one MAC sweep per key group, one Schnorr batch verify per
+device key).  Orders are processed in strict submission order -- the
+TPA's nonce stream advances exactly as the scalar one-call-one-audit
+anchor would, which is what makes daemon and anchor verdicts
+request-for-request identical (pinned by test and CI-gated by
+``benchmarks/bench_daemon.py``).
+
+:meth:`AuditDispatcher.process_batch` is the synchronous core (tests
+and the benchmark drive it directly); :meth:`AuditDispatcher.run` is
+the asyncio loop the daemon mounts it on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.cloud.tpa import ThirdPartyAuditor
+from repro.cloud.verifier import VerifierDevice
+from repro.errors import ConfigurationError, ReproError
+from repro.service.framing import encode_frame
+from repro.service.wire import AuditOrder, ErrorReply, VerdictReply
+
+#: Queue sentinel: stop after draining what is already buffered.
+SHUTDOWN = object()
+
+
+class ReplySink(Protocol):
+    """Where a connection's replies go (the daemon's connection object)."""
+
+    def send_bytes(self, data: bytes) -> None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class Submitted:
+    """One order plus the connection awaiting its reply."""
+
+    order: AuditOrder
+    sink: ReplySink
+
+
+@dataclass
+class DispatchStats:
+    """Counters the benchmark and soak jobs read."""
+
+    n_orders: int = 0
+    n_errors: int = 0
+    n_flushes: int = 0
+    flush_sizes: list[int] = field(default_factory=list)
+
+
+class AuditDispatcher:
+    """Batches audit orders through the TPA's deferred-verify plane."""
+
+    def __init__(
+        self,
+        *,
+        tpa: ThirdPartyAuditor,
+        verifier: VerifierDevice,
+        provider,
+        flush_batch: int = 64,
+        flush_ms: float = 5.0,
+    ) -> None:
+        if flush_batch < 1:
+            raise ConfigurationError(
+                f"flush_batch must be >= 1, got {flush_batch}"
+            )
+        if flush_ms <= 0:
+            raise ConfigurationError(f"flush_ms must be > 0, got {flush_ms}")
+        self.tpa = tpa
+        self.verifier = verifier
+        self.provider = provider
+        self.flush_batch = flush_batch
+        self.flush_ms = flush_ms
+        self.stats = DispatchStats()
+
+    # -- synchronous core ----------------------------------------------
+
+    def process_batch(
+        self, orders: Sequence[AuditOrder]
+    ) -> list[VerdictReply | ErrorReply]:
+        """Audit one batch; one reply per order, in submission order.
+
+        Unserviceable orders (unknown file, out-of-range ``k``) are
+        answered with :class:`ErrorReply` *before* any nonce is drawn,
+        so a bad order never perturbs its neighbours' challenge
+        derivation.  A backend failure that escapes the registry's
+        failover chain mid-protocol fails that whole contiguous run of
+        orders closed, never the daemon.
+        """
+        replies: list[VerdictReply | ErrorReply | None] = [None] * len(orders)
+        validated: list[tuple[int, AuditOrder, int]] = []
+        for position, order in enumerate(orders):
+            try:
+                record = self.tpa.record(order.file_id)
+            except ConfigurationError as exc:
+                replies[position] = ErrorReply(order.order_id, str(exc))
+                continue
+            k = order.k if order.k else record.sla.min_rounds
+            if not 0 < k <= record.n_segments:
+                replies[position] = ErrorReply(
+                    order.order_id,
+                    f"k must be in 1..{record.n_segments}, got {k}",
+                )
+                continue
+            validated.append((position, order, k))
+        # Contiguous same-k runs share one batched protocol sweep;
+        # submission order (and so the nonce stream) is preserved.
+        deferred: list[tuple[int, AuditOrder]] = []
+        start = 0
+        while start < len(validated):
+            end = start
+            k = validated[start][2]
+            while end < len(validated) and validated[end][2] == k:
+                end += 1
+            chunk = validated[start:end]
+            try:
+                self.tpa.audit_deferred_many(
+                    [order.file_id for _position, order, _k in chunk],
+                    self.verifier,
+                    self.provider,
+                    k=k,
+                )
+            except ReproError as exc:
+                # audit_deferred_many queues nothing unless the whole
+                # chunk's protocol phase succeeded, so failing these
+                # orders cannot misalign the verdict flush below.
+                for position, order, _unused_k in chunk:
+                    replies[position] = ErrorReply(order.order_id, str(exc))
+                start = end
+                continue
+            deferred.extend((position, order) for position, order, _ in chunk)
+            start = end
+        outcomes = self.tpa.flush_verdicts() if deferred else []
+        if len(outcomes) != len(deferred):
+            raise ConfigurationError(
+                f"flushed {len(outcomes)} verdicts for {len(deferred)} "
+                "dispatched orders; do not mix manual audit_deferred() "
+                "calls with a running dispatcher"
+            )
+        for (position, order), outcome in zip(deferred, outcomes):
+            replies[position] = VerdictReply(order.order_id, outcome.verdict)
+        self.stats.n_orders += len(orders)
+        self.stats.n_flushes += 1
+        self.stats.flush_sizes.append(len(orders))
+        self.stats.n_errors += sum(
+            isinstance(reply, ErrorReply) for reply in replies
+        )
+        return [reply for reply in replies if reply is not None]
+
+    # -- asyncio loop ---------------------------------------------------
+
+    async def run(self, queue: asyncio.Queue) -> None:
+        """Consume submissions until :data:`SHUTDOWN`, then drain.
+
+        Queue items are *lists* of :class:`Submitted` (one list per
+        TCP chunk a reader parsed), so queue traffic is amortized the
+        same way frame parsing is.
+        """
+        loop = asyncio.get_running_loop()
+        carry: deque[Submitted] = deque()
+        stopping = False
+        while True:
+            if not carry:
+                if stopping:
+                    return
+                item = await queue.get()
+                if item is SHUTDOWN:
+                    stopping = True
+                    continue
+                carry.extend(item)
+            deadline_s = loop.time() + self.flush_ms / 1000.0
+            while not stopping and len(carry) < self.flush_batch:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining_s = deadline_s - loop.time()
+                    if remaining_s <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(
+                            queue.get(), remaining_s
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if item is SHUTDOWN:
+                    stopping = True
+                    break
+                carry.extend(item)
+            batch = [
+                carry.popleft()
+                for _ in range(min(self.flush_batch, len(carry)))
+            ]
+            replies = self.process_batch([entry.order for entry in batch])
+            self._deliver(batch, replies)
+
+    @staticmethod
+    def _deliver(
+        batch: list[Submitted], replies: list[VerdictReply | ErrorReply]
+    ) -> None:
+        """Group one flush's replies into one write per connection."""
+        by_sink: dict[int, tuple[ReplySink, list[bytes]]] = {}
+        for entry, reply in zip(batch, replies):
+            key = id(entry.sink)
+            if key not in by_sink:
+                by_sink[key] = (entry.sink, [])
+            by_sink[key][1].append(encode_frame(reply.to_wire()))
+        for sink, frames in by_sink.values():
+            sink.send_bytes(b"".join(frames))

@@ -1,0 +1,140 @@
+"""The audit service's request/reply envelope.
+
+Frame bodies are one opcode byte followed by a ``core.messages``-style
+canonical encoding.  Three messages cross the wire:
+
+* :class:`AuditOrder` (client -> daemon, :data:`OP_AUDIT`): "audit
+  file F with k rounds" plus a client-chosen correlation id.  ``k=0``
+  means the file's SLA default.  The daemon draws the nonce and runs
+  the protocol -- tenants never influence challenge derivation.
+* :class:`VerdictReply` (daemon -> client, :data:`OP_VERDICT`): the
+  full :class:`~repro.core.verification.GeoProofVerdict` for one
+  order.
+* :class:`ErrorReply` (daemon -> client, :data:`OP_ERROR`): the order
+  was not serviceable (unknown file, invalid k, backend exhausted).
+
+Decoding fails closed exactly like :mod:`repro.core.messages`: unknown
+opcodes, truncated bodies and trailing bytes all raise
+:class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import decode_exact
+from repro.core.verification import GeoProofVerdict
+from repro.errors import ProtocolError
+from repro.util.serialization import (
+    decode_length_prefixed,
+    decode_uint,
+    encode_length_prefixed,
+    encode_uint,
+)
+
+OP_AUDIT = 0x01
+OP_VERDICT = 0x81
+OP_ERROR = 0x82
+
+
+@dataclass(frozen=True, slots=True)
+class AuditOrder:
+    """One tenant order: audit ``file_id`` with ``k`` rounds (0 = SLA)."""
+
+    order_id: int
+    file_id: bytes
+    k: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.order_id < 1 << 64:
+            raise ProtocolError(f"order id out of range: {self.order_id}")
+        if self.k < 0:
+            raise ProtocolError(f"k must be >= 0, got {self.k}")
+        if not self.file_id:
+            raise ProtocolError("file id must be non-empty")
+
+    def to_wire(self) -> bytes:
+        return bytes([OP_AUDIT]) + (
+            encode_uint(self.order_id)
+            + encode_length_prefixed(self.file_id)
+            + encode_uint(self.k)
+        )
+
+    @classmethod
+    def from_body(cls, data: bytes, offset: int = 0) -> tuple["AuditOrder", int]:
+        order_id, offset = decode_uint(data, offset)
+        file_id, offset = decode_length_prefixed(data, offset)
+        k, offset = decode_uint(data, offset)
+        return cls(order_id=order_id, file_id=file_id, k=k), offset
+
+
+@dataclass(frozen=True, slots=True)
+class VerdictReply:
+    """The daemon's answer to one order: the full verdict."""
+
+    order_id: int
+    verdict: GeoProofVerdict
+
+    def to_wire(self) -> bytes:
+        return (
+            bytes([OP_VERDICT])
+            + encode_uint(self.order_id)
+            + self.verdict.to_wire()
+        )
+
+    @classmethod
+    def from_body(
+        cls, data: bytes, offset: int = 0
+    ) -> tuple["VerdictReply", int]:
+        order_id, offset = decode_uint(data, offset)
+        verdict, offset = GeoProofVerdict.from_wire(data, offset)
+        return cls(order_id=order_id, verdict=verdict), offset
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorReply:
+    """The daemon could not service an order (or parse a frame)."""
+
+    order_id: int  # 0 when the failure is not attributable to an order
+    message: str
+
+    def to_wire(self) -> bytes:
+        return (
+            bytes([OP_ERROR])
+            + encode_uint(self.order_id)
+            + encode_length_prefixed(self.message.encode("utf-8"))
+        )
+
+    @classmethod
+    def from_body(
+        cls, data: bytes, offset: int = 0
+    ) -> tuple["ErrorReply", int]:
+        order_id, offset = decode_uint(data, offset)
+        raw, offset = decode_length_prefixed(data, offset)
+        try:
+            message = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("error reply is not valid UTF-8") from exc
+        return cls(order_id=order_id, message=message), offset
+
+
+def decode_request(body: bytes) -> AuditOrder:
+    """Decode one client->daemon frame body, failing closed."""
+    if not body:
+        raise ProtocolError("empty frame body")
+    opcode = body[0]
+    if opcode != OP_AUDIT:
+        raise ProtocolError(f"unknown request opcode {opcode:#x}")
+    return decode_exact(AuditOrder.from_body, body[1:])
+
+
+def decode_reply(body: bytes) -> VerdictReply | ErrorReply:
+    """Decode one daemon->client frame body, failing closed."""
+    if not body:
+        raise ProtocolError("empty frame body")
+    opcode = body[0]
+    if opcode == OP_VERDICT:
+        return decode_exact(VerdictReply.from_body, body[1:])
+    if opcode == OP_ERROR:
+        return decode_exact(ErrorReply.from_body, body[1:])
+    raise ProtocolError(f"unknown reply opcode {opcode:#x}")

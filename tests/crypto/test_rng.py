@@ -38,6 +38,25 @@ class TestDeterminism:
         a.fork("child").random_bytes(1000)
         assert a.random_bytes(32) == b.random_bytes(32)
 
+    def test_fork_many_matches_scalar_forks(self):
+        """Batch fork derivation is byte-identical to per-label fork()."""
+        parent = DeterministicRNG("seed")
+        labels = [f"stream-{i}" for i in range(17)] + ["", "challenge-abc"]
+        batch = parent.fork_many(labels)
+        assert len(batch) == len(labels)
+        for label, child in zip(labels, batch):
+            assert child.random_bytes(64) == parent.fork(label).random_bytes(64)
+
+    def test_fork_many_does_not_disturb_parent(self):
+        a = DeterministicRNG("seed")
+        b = DeterministicRNG("seed")
+        for child in a.fork_many(["x", "y", "z"]):
+            child.random_bytes(100)
+        assert a.random_bytes(32) == b.random_bytes(32)
+
+    def test_fork_many_empty(self):
+        assert DeterministicRNG("seed").fork_many([]) == []
+
     def test_chunked_reads_match_bulk(self):
         a = DeterministicRNG("seed")
         b = DeterministicRNG("seed")

@@ -39,6 +39,29 @@ class TestSIM001WallClock:
         )
         assert report.findings == []
 
+    def test_service_package_allowlisted(self, lint_tree):
+        # repro.service is deployment code: flush deadlines and health
+        # probes legitimately read the host clock (docs/INVARIANTS.md).
+        report = lint_tree(
+            {
+                "src/repro/service/daemon.py": (
+                    "import time\nnow_ms = time.monotonic() * 1000.0\n"
+                )
+            }
+        )
+        assert report.findings == []
+
+    def test_allowlist_does_not_leak_to_sibling_packages(self, lint_tree):
+        # The exemption is the exact package, not a name prefix.
+        report = lint_tree(
+            {
+                "src/repro/servicex/mod.py": (
+                    "import time\nstamp = time.monotonic()\n"
+                )
+            }
+        )
+        assert rule_ids_of(report) == ["SIM001"]
+
 
 class TestSIM002Randomness:
     def test_import_random_in_src_flagged(self, lint_tree):

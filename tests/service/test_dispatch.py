@@ -1,0 +1,149 @@
+"""The dispatcher's batched audit plane vs the scalar anchor.
+
+The load-bearing pin: for the same seed and the same order stream, the
+daemon's batched path and the scalar one-call-one-audit anchor produce
+*identical* verdicts -- bad orders answered before any nonce is drawn,
+contiguous same-k runs batched, submission order preserved.
+"""
+
+import pytest
+
+from repro.core.session import GeoProofSession
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.por.parameters import TEST_PARAMS
+from repro.service import AuditOrder, ErrorReply, VerdictReply
+from repro.service.dispatch import AuditDispatcher
+
+
+def build_session(seed="dispatch", n_files=3, min_rounds=4):
+    session = GeoProofSession.build(
+        datacentre_location=GeoPoint(-27.4698, 153.0251),
+        params=TEST_PARAMS,
+        min_rounds=min_rounds,
+        seed=seed,
+    )
+    rng = DeterministicRNG(seed + "-data")
+    file_ids = []
+    for i in range(n_files):
+        file_id = f"file-{i}".encode()
+        session.outsource(file_id, rng.fork(str(i)).random_bytes(4000))
+        file_ids.append(file_id)
+    return session, file_ids
+
+
+def build_dispatcher(session, **kwargs):
+    return AuditDispatcher(
+        tpa=session.tpa,
+        verifier=session.verifier,
+        provider=session.provider,
+        **kwargs,
+    )
+
+
+class TestScalarEquivalence:
+    def test_mixed_k_batch_matches_scalar_audits(self):
+        scalar_session, file_ids = build_session()
+        plan = [(file_ids[i % 3], 3 + (i % 2)) for i in range(24)]
+        scalar = [
+            scalar_session.tpa.audit(
+                file_id,
+                scalar_session.verifier,
+                scalar_session.provider,
+                k=k,
+            ).verdict
+            for file_id, k in plan
+        ]
+
+        batch_session, _ = build_session()
+        dispatcher = build_dispatcher(batch_session)
+        replies = dispatcher.process_batch(
+            [
+                AuditOrder(i + 1, file_id, k)
+                for i, (file_id, k) in enumerate(plan)
+            ]
+        )
+        assert [reply.verdict for reply in replies] == scalar
+
+    def test_invalid_orders_do_not_perturb_neighbours(self):
+        scalar_session, file_ids = build_session()
+        scalar = [
+            scalar_session.tpa.audit(
+                file_id,
+                scalar_session.verifier,
+                scalar_session.provider,
+                k=3,
+            ).verdict
+            for file_id in file_ids
+        ]
+
+        batch_session, _ = build_session()
+        dispatcher = build_dispatcher(batch_session)
+        replies = dispatcher.process_batch(
+            [
+                AuditOrder(1, file_ids[0], 3),
+                AuditOrder(2, b"no-such-file", 3),  # rejected pre-nonce
+                AuditOrder(3, file_ids[1], 3),
+                AuditOrder(4, file_ids[2], 10**9),  # k out of range
+                AuditOrder(5, file_ids[2], 3),
+            ]
+        )
+        assert isinstance(replies[1], ErrorReply)
+        assert isinstance(replies[3], ErrorReply)
+        good = [replies[0], replies[2], replies[4]]
+        assert all(isinstance(reply, VerdictReply) for reply in good)
+        assert [reply.verdict for reply in good] == scalar
+
+    def test_k_zero_means_sla_min_rounds(self):
+        scalar_session, file_ids = build_session(min_rounds=5)
+        scalar = scalar_session.tpa.audit(
+            file_ids[0], scalar_session.verifier, scalar_session.provider
+        ).verdict
+
+        batch_session, _ = build_session(min_rounds=5)
+        dispatcher = build_dispatcher(batch_session)
+        (reply,) = dispatcher.process_batch([AuditOrder(1, file_ids[0], 0)])
+        assert reply.verdict == scalar
+
+
+class TestReplies:
+    def test_one_reply_per_order_in_submission_order(self):
+        session, file_ids = build_session()
+        dispatcher = build_dispatcher(session)
+        orders = [
+            AuditOrder(i + 10, file_ids[i % 3], 3 if i % 2 else 4)
+            for i in range(9)
+        ]
+        replies = dispatcher.process_batch(orders)
+        assert [reply.order_id for reply in replies] == [
+            order.order_id for order in orders
+        ]
+
+    def test_stats_track_orders_errors_and_flushes(self):
+        session, file_ids = build_session()
+        dispatcher = build_dispatcher(session)
+        dispatcher.process_batch(
+            [AuditOrder(1, file_ids[0], 3), AuditOrder(2, b"missing", 3)]
+        )
+        dispatcher.process_batch([AuditOrder(3, file_ids[1], 3)])
+        assert dispatcher.stats.n_orders == 3
+        assert dispatcher.stats.n_errors == 1
+        assert dispatcher.stats.n_flushes == 2
+        assert dispatcher.stats.flush_sizes == [2, 1]
+
+    def test_mixing_manual_deferred_audits_is_rejected(self):
+        session, file_ids = build_session()
+        dispatcher = build_dispatcher(session)
+        session.tpa.audit_deferred(
+            file_ids[0], session.verifier, session.provider, k=3
+        )
+        with pytest.raises(ConfigurationError):
+            dispatcher.process_batch([AuditOrder(1, file_ids[1], 3)])
+
+    def test_configuration_bounds(self):
+        session, _ = build_session()
+        with pytest.raises(ConfigurationError):
+            build_dispatcher(session, flush_batch=0)
+        with pytest.raises(ConfigurationError):
+            build_dispatcher(session, flush_ms=0.0)

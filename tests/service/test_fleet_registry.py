@@ -1,0 +1,91 @@
+"""The fleet's storage plane exposed as an elastic provider registry."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRNG
+from repro.errors import StorageUnavailableError
+from repro.fleet import AuditFleet
+from repro.geo.datasets import city
+
+
+def build_fleet():
+    fleet = AuditFleet(seed="registry-fleet")
+    fleet.add_provider(
+        "acme",
+        [("brisbane", city("brisbane")), ("sydney", city("sydney"))],
+    )
+    fleet.add_provider("solo", [("melbourne", city("melbourne"))])
+    data_rng = DeterministicRNG("registry-data")
+    fleet.register(
+        tenant="alice",
+        provider="acme",
+        datacentre="brisbane",
+        file_id=b"alice-0",
+        data=data_rng.fork("0").random_bytes(2_000),
+    )
+    return fleet
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now_ms = 0.0
+
+    def __call__(self) -> float:
+        return self.now_ms
+
+
+class TestStorageRegistry:
+    def test_one_backend_per_site_with_intra_provider_fallbacks(self):
+        registry = build_fleet().storage_registry()
+        assert registry.names() == [
+            "acme/brisbane",
+            "acme/sydney",
+            "solo/melbourne",
+        ]
+        assert registry.chain("acme/brisbane") == [
+            "acme/brisbane",
+            "acme/sydney",
+        ]
+        # Failover never crosses a provider boundary.
+        assert registry.chain("solo/melbourne") == ["solo/melbourne"]
+
+    def test_backends_adopt_the_fleet_servers(self):
+        fleet = build_fleet()
+        registry = fleet.storage_registry()
+        backend = registry.get("acme/brisbane")
+        site = fleet.provider("acme").datacentre("brisbane")
+        assert backend.server is site.server
+        result = registry.serve_via("acme/brisbane", b"alice-0", 0)
+        assert result.served_by == "acme/brisbane"
+        assert result.elapsed_ms > 0.0  # simulated spindle cost, not RAM
+
+    def test_data_miss_falls_through_to_the_replica_site(self):
+        fleet = build_fleet()
+        # Place a copy at the fallback site, then lose the primary's.
+        encoded = (
+            fleet.provider("acme")
+            .datacentre("brisbane")
+            .server.store.file_meta(b"alice-0")
+        )
+        fleet.provider("acme").datacentre("sydney").store(encoded)
+        fleet.provider("acme").datacentre("brisbane").server.store.delete_file(
+            b"alice-0"
+        )
+        registry = fleet.storage_registry()
+        result = registry.serve_via("acme/brisbane", b"alice-0", 0)
+        assert result.served_by == "acme/sydney"
+        # A data miss is not a health event.
+        assert registry.is_healthy("acme/brisbane")
+
+    def test_single_site_provider_exhausts_its_chain(self):
+        registry = build_fleet().storage_registry()
+        with pytest.raises(StorageUnavailableError):
+            registry.serve_via("solo/melbourne", b"alice-0", 0)
+
+    def test_breaker_knobs_pass_through(self):
+        clock = FakeClock()
+        registry = build_fleet().storage_registry(
+            unhealthy_after=1, probe_delay_ms=250.0, now_fn=clock
+        )
+        assert registry.unhealthy_after == 1
+        assert registry.probe_delay_ms == 250.0
