@@ -50,6 +50,7 @@ except ImportError:  # running as a script from the repo root
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     from _gates import Gate, enforce_gates  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.analysis.reporting import format_table  # noqa: E402
 from repro.cloud.adversary import CorruptionAttack, RelayAttack  # noqa: E402
 from repro.cloud.provider import DataCentre  # noqa: E402
@@ -63,7 +64,13 @@ from repro.storage.contract import InMemoryStorage  # noqa: E402
 from repro.storage.hdd import IBM_36Z15  # noqa: E402
 
 #: Acceptance bar: sustained end-to-end audits/s through the daemon.
+#: Gated on the *metrics-enabled* run: instrumentation must not eat
+#: the capability.
 MIN_AUDITS_PER_S = 10_000.0
+
+#: Acceptance bar: metrics-enabled / metrics-disabled throughput ratio.
+#: 0.95 == "the observability plane may cost at most 5%".
+MIN_OBS_THROUGHPUT_RATIO = 0.95
 
 #: Acceptance bar: fraction of mixed-population daemon verdicts equal
 #: to the scalar anchor.  1.0 -- one diverging verdict is a CI failure.
@@ -137,77 +144,95 @@ def ram_backend(session, file_ids) -> InMemoryStorage:
 # -- throughput ---------------------------------------------------------
 
 
-def measure_throughput(n_orders: int) -> dict:
-    """Sustained audits/s through daemon + TCP + pipelined client."""
-    session, file_ids = build_bench_session("bench-daemon")
-    backend = ram_backend(session, file_ids)
-    daemon = AuditDaemon(
-        tpa=session.tpa,
-        verifier=session.verifier,
-        provider=backend,
-        flush_batch=128,
-        flush_ms=5.0,
-    )
-    file_id = file_ids[0]
-    runs: list[dict] = []
+def measure_throughput(n_orders: int, *, obs_enabled: bool = False) -> dict:
+    """Sustained audits/s through daemon + TCP + pipelined client.
 
-    async def timed_run(client) -> dict:
-        latencies: list[float] = []
+    With ``obs_enabled`` the whole stack is built under a live metrics
+    registry + tracer (series bind at construction), and the result
+    carries the registry snapshot -- the ``METRICS_daemon.json`` CI
+    artifact.  The default run uses the disabled null registry, giving
+    the overhead gate its baseline.
+    """
+    registry = obs.MetricsRegistry(enabled=obs_enabled)
+    trace = obs.Tracer(enabled=obs_enabled)
+    with obs.use_registry(registry, trace):
+        session, file_ids = build_bench_session("bench-daemon")
+        backend = ram_backend(session, file_ids)
+        daemon = AuditDaemon(
+            tpa=session.tpa,
+            verifier=session.verifier,
+            provider=backend,
+            flush_batch=128,
+            flush_ms=5.0,
+        )
+        file_id = file_ids[0]
+        runs: list[dict] = []
 
-        def on_done(future, wave_start):
-            latencies.append(time.perf_counter() - wave_start)
+        async def timed_run(client) -> dict:
+            latencies: list[float] = []
 
-        daemon.stats.flush_sizes.clear()
-        gc.disable()
-        try:
-            start = time.perf_counter()
-            done = 0
-            while done < n_orders:
-                wave = min(WAVE_ORDERS, n_orders - done)
-                wave_start = time.perf_counter()
-                futures = await client.submit_many(
-                    [(file_id, K_THROUGHPUT)] * wave
-                )
-                for future in futures:
-                    future.add_done_callback(
-                        lambda f, t0=wave_start: on_done(f, t0)
+            def on_done(future, wave_start):
+                latencies.append(time.perf_counter() - wave_start)
+
+            daemon.stats.flush_sizes.clear()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                done = 0
+                while done < n_orders:
+                    wave = min(WAVE_ORDERS, n_orders - done)
+                    wave_start = time.perf_counter()
+                    futures = await client.submit_many(
+                        [(file_id, K_THROUGHPUT)] * wave
                     )
-                verdicts = await asyncio.gather(*futures)
-                assert all(v.accepted for v in verdicts)
-                done += wave
-            elapsed_seconds = time.perf_counter() - start
-        finally:
-            gc.enable()
-        quantiles = statistics.quantiles(latencies, n=100)
-        return {
-            "elapsed_seconds": elapsed_seconds,
-            "audits_per_s": n_orders / elapsed_seconds,
-            "latency_p50_ms": statistics.median(latencies) * 1000.0,
-            "latency_p99_ms": quantiles[98] * 1000.0,
-            "n_flushes": len(daemon.stats.flush_sizes),
-            "mean_flush_size": statistics.fmean(daemon.stats.flush_sizes),
-            "max_flush_size": max(daemon.stats.flush_sizes),
-        }
+                    for future in futures:
+                        future.add_done_callback(
+                            lambda f, t0=wave_start: on_done(f, t0)
+                        )
+                    verdicts = await asyncio.gather(*futures)
+                    assert all(v.accepted for v in verdicts)
+                    done += wave
+                elapsed_seconds = time.perf_counter() - start
+            finally:
+                gc.enable()
+            quantiles = statistics.quantiles(latencies, n=100)
+            flush_hist = daemon.stats.flush_sizes
+            return {
+                "elapsed_seconds": elapsed_seconds,
+                "audits_per_s": n_orders / elapsed_seconds,
+                "latency_p50_ms": statistics.median(latencies) * 1000.0,
+                "latency_p99_ms": quantiles[98] * 1000.0,
+                "n_flushes": flush_hist.count,
+                "mean_flush_size": flush_hist.mean,
+                "max_flush_size": flush_hist.max_value,
+            }
 
-    async def run() -> None:
-        await daemon.start()
-        async with AuditClient("127.0.0.1", daemon.port) as client:
-            # Warm the caches (PRF bases, Schnorr tables, segment
-            # memos) before the timed sections.
-            await client.audit_many([(file_id, K_THROUGHPUT)] * N_WARMUP)
-            for _ in range(N_REPEATS):
-                runs.append(await timed_run(client))
-        await daemon.stop()
+        async def run() -> None:
+            await daemon.start()
+            async with AuditClient("127.0.0.1", daemon.port) as client:
+                # Warm the caches (PRF bases, Schnorr tables, segment
+                # memos) before the timed sections.
+                await client.audit_many(
+                    [(file_id, K_THROUGHPUT)] * N_WARMUP
+                )
+                for _ in range(N_REPEATS):
+                    runs.append(await timed_run(client))
+            await daemon.stop()
 
-    asyncio.run(run())
+        asyncio.run(run())
     best = max(runs, key=lambda row: row["audits_per_s"])
-    return {
+    result = {
         "n_orders": n_orders,
         "k_rounds": K_THROUGHPUT,
         "n_repeats": N_REPEATS,
+        "obs_enabled": obs_enabled,
         "all_audits_per_s": [row["audits_per_s"] for row in runs],
         **best,
     }
+    if obs_enabled:
+        result["metrics_snapshot"] = registry.snapshot()
+        result["n_spans"] = trace.n_recorded
+    return result
 
 
 # -- equivalence --------------------------------------------------------
@@ -344,8 +369,16 @@ def main(argv=None) -> int:
     n_mixed = N_MIXED_QUICK if args.quick else N_MIXED
 
     print(f"driving {n_orders} pipelined audits through the daemon...")
-    throughput = measure_throughput(n_orders)
+    baseline = measure_throughput(n_orders)
+    print("again with the observability plane enabled...")
+    throughput = measure_throughput(n_orders, obs_enabled=True)
     record_table("daemon-throughput", _render_throughput(throughput))
+    obs_ratio = throughput["audits_per_s"] / baseline["audits_per_s"]
+    print(
+        f"obs overhead: {baseline['audits_per_s']:.0f} -> "
+        f"{throughput['audits_per_s']:.0f} audits/s "
+        f"(ratio {obs_ratio:.3f}, {throughput.get('n_spans', 0)} spans)"
+    )
 
     print("replaying mixed populations against the scalar anchor...")
     equivalence = [
@@ -364,7 +397,16 @@ def main(argv=None) -> int:
             measured=throughput["audits_per_s"],
             required=MIN_AUDITS_PER_S,
             detail=f"{throughput['n_orders']} orders, k={K_THROUGHPUT}, "
-                   f"p99 {throughput['latency_p99_ms']:.1f} ms",
+                   f"p99 {throughput['latency_p99_ms']:.1f} ms, "
+                   "metrics enabled",
+        ),
+        Gate(
+            name="daemon_obs_overhead_ratio",
+            measured=obs_ratio,
+            required=MIN_OBS_THROUGHPUT_RATIO,
+            detail=f"metrics on {throughput['audits_per_s']:.0f} vs off "
+                   f"{baseline['audits_per_s']:.0f} audits/s "
+                   "(best-of-repeats each)",
         ),
     ]
     for row in equivalence:
@@ -388,18 +430,27 @@ def main(argv=None) -> int:
         )
     exit_code = enforce_gates(gates, bench="bench_daemon")
 
+    metrics_snapshot = throughput.pop("metrics_snapshot", None)
     if args.out:
         args.out.write_text(json.dumps(
             {
                 "bench": "daemon",
                 "quick": args.quick,
                 "throughput": throughput,
+                "baseline_obs_disabled": baseline,
+                "obs_overhead_ratio": obs_ratio,
                 "equivalence": equivalence,
                 "gates": [gate.as_dict() for gate in gates],
             },
             indent=2,
         ))
         print(f"wrote {args.out}")
+        if metrics_snapshot is not None:
+            metrics_path = args.out.parent / "METRICS_daemon.json"
+            metrics_path.write_text(
+                json.dumps(metrics_snapshot, indent=2)
+            )
+            print(f"wrote {metrics_path}")
     return exit_code
 
 

@@ -61,6 +61,7 @@ except ImportError:  # running as a script from the repo root
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     from _gates import Gate, enforce_gates  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.analysis.reporting import format_table  # noqa: E402
 from repro.fleet.demo import (  # noqa: E402
     build_contention_fleet,
@@ -87,6 +88,16 @@ MIN_EVENT_SPEEDUP = 2.0
 #: fully deterministic, so any ratio > 1 is a stable gate; the 1.05
 #: margin just keeps "strictly" honest against float noise).
 MIN_CONTENTION_SPEEDUP = 1.05
+
+#: Acceptance bar: running the fleet with the observability plane fully
+#: enabled (metrics registry + sim-domain tracing) may cost at most ~5%
+#: wall time on the hot audit loop, i.e. disabled-to-enabled best-of-N
+#: wall ratio must stay above this.
+MIN_OBS_WALL_RATIO = 0.95
+
+#: Best-of-N repeats per mode for the overhead measurement (wall-time
+#: benches on shared runners need the minimum, not the mean).
+OBS_REPEATS = 3
 
 
 def run_fleet(
@@ -490,6 +501,54 @@ def test_work_stealing_beats_round_robin_under_contention(benchmark):
     )
 
 
+# -- observability overhead: metrics + tracing on the hot loop ----------
+
+def measure_obs_overhead(*, n_files: int, hours: float) -> dict:
+    """Best-of-N wall times for one fixed workload, obs off vs on.
+
+    Both modes rebuild the identical event-engine fleet from the same
+    seed and run it under a scoped registry/tracer pair
+    (:func:`repro.obs.use_registry`), so the only difference between
+    the two series is the instrumentation itself: per-lane counters,
+    spindle wait histograms and sim-domain batch spans.
+    """
+
+    def best_wall(enabled: bool) -> tuple[float, dict | None, int]:
+        best_s = float("inf")
+        snapshot = None
+        n_spans = 0
+        for _ in range(OBS_REPEATS):
+            registry = obs.MetricsRegistry(enabled=enabled)
+            trace = obs.Tracer(enabled=enabled)
+            with obs.use_registry(registry, trace):
+                _, wall_s, _ = run_fleet(
+                    n_files,
+                    RoundRobinStrategy(),
+                    violation="corrupt",
+                    hours=hours,
+                    engine="event",
+                )
+            if wall_s < best_s:
+                best_s = wall_s
+                snapshot = registry.snapshot() if enabled else None
+                n_spans = trace.n_recorded
+        return best_s, snapshot, n_spans
+
+    disabled_wall_s, _, _ = best_wall(False)
+    enabled_wall_s, snapshot, n_spans = best_wall(True)
+    return {
+        "disabled_wall_s": disabled_wall_s,
+        "enabled_wall_s": enabled_wall_s,
+        "wall_ratio": (
+            disabled_wall_s / enabled_wall_s
+            if enabled_wall_s > 0
+            else float("inf")
+        ),
+        "n_spans": n_spans,
+        "metrics_snapshot": snapshot,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fleet engine + contention benchmark (CI gates)"
@@ -513,6 +572,13 @@ def main(argv: list[str] | None = None) -> int:
     print(_render_engine_rows(rows))
     contention_rows = contention_sweep(hours=contention_hours)
     print(_render_contention_rows(contention_rows))
+    overhead = measure_obs_overhead(n_files=n_files, hours=hours)
+    print(
+        "\nobs overhead: disabled "
+        f"{overhead['disabled_wall_s']:.3f}s, enabled "
+        f"{overhead['enabled_wall_s']:.3f}s (ratio "
+        f"{overhead['wall_ratio']:.3f}, {overhead['n_spans']} spans)"
+    )
 
     gates = [
         Gate(
@@ -531,6 +597,18 @@ def main(argv: list[str] | None = None) -> int:
                 detail="time to catch all rot, vs round-robin",
             )
         )
+    gates.append(
+        Gate(
+            name="fleet_obs_overhead_ratio",
+            measured=overhead["wall_ratio"],
+            required=MIN_OBS_WALL_RATIO,
+            detail=(
+                "disabled/enabled best-of-"
+                f"{OBS_REPEATS} wall, metrics + tracing on"
+            ),
+        )
+    )
+    metrics_snapshot = overhead.pop("metrics_snapshot", None)
 
     record = {
         "bench": "fleet",
@@ -548,12 +626,18 @@ def main(argv: list[str] | None = None) -> int:
         },
         "min_event_speedup": MIN_EVENT_SPEEDUP,
         "min_contention_speedup": MIN_CONTENTION_SPEEDUP,
+        "min_obs_wall_ratio": MIN_OBS_WALL_RATIO,
         "rows": rows,
         "contention_rows": contention_rows,
+        "obs_overhead": overhead,
         "gates": [gate.as_dict() for gate in gates],
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nwrote {args.out}")
+    if metrics_snapshot is not None:
+        metrics_out = args.out.parent / "METRICS_fleet.json"
+        metrics_out.write_text(json.dumps(metrics_snapshot, indent=2) + "\n")
+        print(f"wrote {metrics_out}")
 
     return enforce_gates(gates, bench="bench_fleet")
 

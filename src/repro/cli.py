@@ -18,6 +18,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli lint                      # src benchmarks examples
     python -m repro.cli lint src/repro/crypto --rules CRY --json -
     python -m repro.cli lint --explain SIM001
+    python -m repro.cli serve --port 4747 --metrics-json metrics.json
+    python -m repro.cli stats --port 4747         # live daemon statistics
+    python -m repro.cli audit-client --port 4747 --stats file-0
 
 Each subcommand prints the same rows the benchmarks assert on, so the
 CLI is a thin, scriptable window onto :mod:`repro.analysis.experiments`.
@@ -38,6 +41,33 @@ from repro.analysis.experiments import (
     table3_internet_latency,
 )
 from repro.analysis.reporting import format_table
+
+
+def _enable_metrics(metrics_json: str | None) -> None:
+    """Switch the process-global observability plane on.
+
+    Must run *before* the instrumented components are built: registry
+    series are bound at construction time, so enabling afterwards
+    leaves the components holding no-op families.
+    """
+    if metrics_json is not None:
+        from repro import obs
+
+        obs.set_enabled(True)
+
+
+def _write_metrics_json(metrics_json: str | None) -> None:
+    """Dump the global registry snapshot where ``--metrics-json`` asked."""
+    if metrics_json is None:
+        return
+    import json
+
+    from repro import obs
+
+    payload = json.dumps(obs.metrics().snapshot(), indent=2) + "\n"
+    with open(metrics_json, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    print(f"wrote {metrics_json}", file=sys.stderr)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -157,6 +187,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet.strategies import make_strategy
 
     violation = None if args.violation == "none" else args.violation
+    _enable_metrics(args.metrics_json)
     # Engine/lane validation is the fleet's own (repro.errors), so the
     # CLI, library and bench reject bad configs with the same message.
     try:
@@ -181,6 +212,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _write_metrics_json(args.metrics_json)
     if args.json is not None:
         payload = json.dumps(report.to_dict(), indent=2) + "\n"
         if args.json == "-":
@@ -230,6 +262,7 @@ def _cmd_economics(args: argparse.Namespace) -> int:
     engines = (
         ("slot", "event") if args.engine == "both" else (args.engine,)
     )
+    _enable_metrics(args.metrics_json)
     try:
         campaign = AdversaryCampaign(
             attack=args.attack,
@@ -253,6 +286,7 @@ def _cmd_economics(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _write_metrics_json(args.metrics_json)
     # The exit code is the acceptance check itself: observed detection
     # must meet the 1 - (cache/file)^k bound in every sweep cell, and
     # (unless skipped) the slot-vs-event streams must stay equivalent
@@ -322,6 +356,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
+    import signal
 
     from repro.core.session import GeoProofSession
     from repro.crypto.rng import DeterministicRNG
@@ -330,6 +365,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.por.parameters import TEST_PARAMS
     from repro.service import AuditDaemon
 
+    _enable_metrics(args.metrics_json)
     try:
         session = GeoProofSession.build(
             datacentre_location=city(args.home),
@@ -359,6 +395,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
     async def run() -> None:
+        # Explicit handlers, because a daemon launched with `&` from a
+        # non-interactive shell (the CI soak job) inherits SIGINT
+        # *ignored* -- Ctrl-C and `kill -INT/-TERM` must still produce
+        # the clean drain-and-stop path.
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-unix host loops: fall back to KeyboardInterrupt
         await daemon.start()
         if args.json:
             print(
@@ -376,9 +423,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sys.stdout.flush()
         try:
             if args.max_seconds is not None:
-                await asyncio.sleep(args.max_seconds)
+                try:
+                    await asyncio.wait_for(
+                        stop_requested.wait(), args.max_seconds
+                    )
+                except asyncio.TimeoutError:
+                    pass
             else:
-                await asyncio.Event().wait()  # until Ctrl-C
+                await stop_requested.wait()  # until SIGINT/SIGTERM
         finally:
             await daemon.stop()
 
@@ -392,6 +444,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({stats.n_errors} errors, {stats.n_flushes} flushes)",
         file=sys.stderr,
     )
+    _write_metrics_json(args.metrics_json)
     return 0
 
 
@@ -406,8 +459,14 @@ def _cmd_audit_client(args: argparse.Namespace) -> int:
         for _ in range(args.count)
         for file_id in args.file_ids
     ]
+    daemon_stats = None
     try:
-        verdicts = run_audit_client(args.host, args.port, plan)
+        if args.stats:
+            verdicts, daemon_stats = run_audit_client(
+                args.host, args.port, plan, stats=True
+            )
+        else:
+            verdicts = run_audit_client(args.host, args.port, plan)
     except (ReproError, OSError) as exc:
         # Connection refused, protocol violation, daemon-side error:
         # the audit never completed, which is worse than a rejection.
@@ -423,7 +482,12 @@ def _cmd_audit_client(args: argparse.Namespace) -> int:
         for (file_id, _), verdict in zip(plan, verdicts)
     ]
     if args.json:
-        print(json.dumps(rows, indent=2))
+        payload = (
+            {"verdicts": rows, "stats": daemon_stats}
+            if daemon_stats is not None
+            else rows
+        )
+        print(json.dumps(payload, indent=2))
     else:
         for row in rows:
             status = "PASS" if row["accepted"] else "FAIL"
@@ -434,7 +498,30 @@ def _cmd_audit_client(args: argparse.Namespace) -> int:
                 f"{status} {row['file']} "
                 f"max RTT {row['max_rtt_ms']:.3f} ms{extra}"
             )
+        if daemon_stats is not None:
+            print(
+                f"daemon stats: {daemon_stats['n_orders']} orders, "
+                f"{daemon_stats['n_errors']} errors, "
+                f"queue depth {daemon_stats['queue_depth']}, "
+                f"p99 latency {daemon_stats['latency_p99_ms']:.3f} ms",
+                file=sys.stderr,
+            )
     return 0 if all(row["accepted"] for row in rows) else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.service import fetch_daemon_stats
+
+    try:
+        payload = fetch_daemon_stats(args.host, args.port)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_analyse(args: argparse.Namespace) -> int:
@@ -559,6 +646,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the FleetReport (lanes, spindles, events) as JSON "
         "to PATH, or to stdout with '-' (suppresses the table)",
     )
+    fleet.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="enable the observability plane for this run and dump the "
+        "metrics registry snapshot as JSON to PATH",
+    )
     fleet.set_defaults(func=_cmd_fleet)
 
     from repro.economics.campaign import ATTACKS
@@ -605,6 +699,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dump the EconomicsReport (cells, ROI curves, quotes) as "
         "JSON to PATH, or to stdout with '-' (suppresses the table)",
+    )
+    economics.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="enable the observability plane for this run and dump the "
+        "metrics registry snapshot as JSON to PATH",
     )
     economics.set_defaults(func=_cmd_economics)
 
@@ -683,6 +784,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="announce {host, port, files} as one JSON line",
     )
+    serve.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="enable the observability plane and dump the metrics "
+        "registry snapshot as JSON to PATH on shutdown",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     client = subparsers.add_parser(
@@ -706,7 +814,21 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--json", action="store_true", help="print verdicts as JSON"
     )
+    client.add_argument(
+        "--stats",
+        action="store_true",
+        help="also fetch the daemon's live stats after the audits "
+        "(same connection, so n_orders covers this batch)",
+    )
     client.set_defaults(func=_cmd_audit_client)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="probe a running daemon's live dispatch statistics",
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True)
+    stats.set_defaults(func=_cmd_stats)
 
     analyse = subparsers.add_parser(
         "analyse", help="closed-form security analysis for a deployment"

@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.cloud.provider import CloudProvider
 from repro.cloud.sla import SLAPolicy
 from repro.cloud.verifier import VerifierDevice
@@ -110,6 +111,24 @@ class ThirdPartyAuditor:
         self._n_logged = 0
         self._n_accepted = 0
         self._failure_counts: dict[str, int] = {}
+        # Obs series bound per auditor (no-op children when disabled).
+        registry = obs.metrics()
+        self._obs_accepted = registry.counter(
+            "repro_tpa_verdicts_total",
+            "Verdicts settled by this auditor",
+            ("tpa", "verdict"),
+        ).labels(name, "accepted")
+        self._obs_rejected = registry.counter(
+            "repro_tpa_verdicts_total",
+            "Verdicts settled by this auditor",
+            ("tpa", "verdict"),
+        ).labels(name, "rejected")
+        self._obs_flush_size = registry.histogram(
+            "repro_tpa_flush_size",
+            "Pending transcripts settled per verdict flush",
+            ("tpa",),
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        ).labels(name)
 
     # -- registration ---------------------------------------------------
 
@@ -326,7 +345,10 @@ class ThirdPartyAuditor:
         if not self._pending:
             return []
         pending, self._pending = self._pending, []
-        verdicts = verify_transcripts([entry.job for entry in pending])
+        with obs.tracer().wall_span(f"tpa.flush:{self.name}"):
+            verdicts = verify_transcripts([entry.job for entry in pending])
+        self._obs_flush_size.observe(len(pending))
+        n_accepted = 0
         outcomes: list[AuditOutcome] = []
         for entry, verdict in zip(pending, verdicts):
             outcome = AuditOutcome(
@@ -337,7 +359,12 @@ class ThirdPartyAuditor:
                 finished_ms=entry.finished_ms,
             )
             self._log_outcome(outcome)
+            n_accepted += outcome.verdict.accepted
             outcomes.append(outcome)
+        if n_accepted:
+            self._obs_accepted.inc(n_accepted)
+        if len(outcomes) - n_accepted:
+            self._obs_rejected.inc(len(outcomes) - n_accepted)
         return outcomes
 
     def audit_many(

@@ -86,6 +86,7 @@ from __future__ import annotations
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cloud.provider import CloudProvider, DataCentre
 from repro.cloud.replication import (
     NearestCopyStrategy,
@@ -102,6 +103,7 @@ from repro.geo.coords import GeoPoint
 from repro.geo.regions import CircularRegion, Region
 from repro.netsim.clock import SimClock
 from repro.netsim.events import EventScheduler
+from repro.obs.tracing import Span
 from repro.netsim.lanes import Lane
 from repro.netsim.resources import SpindleQueue
 from repro.por.parameters import PORParams, TEST_PARAMS
@@ -818,6 +820,7 @@ class AuditFleet:
         horizon_ms = start_ms + hours * MS_PER_HOUR
         events: list[AuditEvent] = []
         accounting = _LaneAccounting(self)
+        tracer = obs.tracer()
         slot = 0
         while True:
             slot_start = start_ms + slot * slot_ms
@@ -866,6 +869,15 @@ class AuditFleet:
                 wait_ms=window.wait_ms,
                 verify_seconds=verify_seconds,
             )
+            if tracer.enabled:
+                # Sim-domain span: both endpoints come off the injected
+                # clock, so the span stream replays from the seed.
+                tracer.record(Span(
+                    f"fleet.batch:{site[0]}/{site[1]}",
+                    "sim",
+                    batch_start,
+                    self.clock.now_ms(),
+                ))
             slot += 1
         return self._build_report(
             strategy_name=active.name,
@@ -923,6 +935,7 @@ class AuditFleet:
                 if not batch:
                     return
                 slot_index = accounting.n_batches_at(site)
+                batch_start = lane_clock.now_ms()
                 lane_clock.advance(self.dispatch_overhead_ms)
                 n_stolen = 0
                 staged: list[tuple[AuditTask, float]] = []
@@ -971,6 +984,17 @@ class AuditFleet:
                     n_stolen=n_stolen,
                     verify_seconds=verify_seconds,
                 )
+                tracer = obs.tracer()
+                if tracer.enabled:
+                    # Sim-domain span on this lane's own clock; the
+                    # scheduler's deterministic dispatch order makes
+                    # the merged span stream replay from the seed too.
+                    tracer.record(Span(
+                        f"fleet.batch:{site[0]}/{site[1]}",
+                        "sim",
+                        batch_start,
+                        lane_clock.now_ms(),
+                    ))
             return dispatch
 
         def make_tick(site: tuple[str, str]):
@@ -1183,6 +1207,44 @@ class _LaneAccounting:
             }
             for site in self.sites
         }
+        # Per-lane obs series, bound once per run (no-op families when
+        # the plane is off, so the charge() hot path stays method calls
+        # on shared null objects).
+        registry = obs.metrics()
+        obs_batches = registry.counter(
+            "repro_fleet_batches_total",
+            "Batches dispatched per fleet lane",
+            ("provider", "site"),
+        )
+        obs_audits = registry.counter(
+            "repro_fleet_audits_total",
+            "Audits executed per fleet lane",
+            ("provider", "site"),
+        )
+        obs_stolen = registry.counter(
+            "repro_fleet_stolen_total",
+            "Audits stolen into this lane from saturated siblings",
+            ("provider", "site"),
+        )
+        obs_verify = registry.counter(
+            "repro_fleet_verify_seconds_total",
+            "Wall-clock batch-verify cost per fleet lane",
+            ("provider", "site"),
+        )
+        self._obs_shed = registry.counter(
+            "repro_fleet_shed_total",
+            "Lane slot ticks dropped by a full queue",
+            ("provider", "site"),
+        )
+        self._obs_by_site = {
+            site: (
+                obs_batches.labels(*site),
+                obs_audits.labels(*site),
+                obs_stolen.labels(*site),
+                obs_verify.labels(*site),
+            )
+            for site in self.sites
+        }
         # Spindle census: every distinct SpindleQueue across the
         # registered providers, in provider/site onboarding order,
         # with run-start snapshots so report rows are per-run deltas
@@ -1314,6 +1376,15 @@ class _LaneAccounting:
         acc["wait_ms"] += wait_ms
         acc["stolen"] += n_stolen
         acc["verify_s"] += verify_seconds
+        obs_batches, obs_audits, obs_stolen, obs_verify = (
+            self._obs_by_site[site]
+        )
+        obs_batches.inc()
+        obs_audits.inc(n_audits)
+        if n_stolen:
+            obs_stolen.inc(n_stolen)
+        if verify_seconds > 0.0:
+            obs_verify.inc(verify_seconds)
 
     def stats(
         self,
@@ -1332,6 +1403,10 @@ class _LaneAccounting:
         for site in self.sites:
             acc = self._acc[site]
             lane = lanes.get(site) if lanes is not None else None
+            if lane is not None and lane.dropped:
+                # Shed work only becomes known at freeze time: the
+                # Lane counts dropped ticks itself.
+                self._obs_shed.labels(*site).inc(lane.dropped)
             busy_ms = lane.clock.busy_ms if lane is not None else acc["busy_ms"]
             wait_ms = (
                 lane.clock.waiting_ms if lane is not None else acc["wait_ms"]

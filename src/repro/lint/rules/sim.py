@@ -91,13 +91,15 @@ class WallClockRule(Rule):
         "equivalence anchor exact.  A wall-clock read (time.time, "
         "time.perf_counter, datetime.now, ...) leaks host timing into "
         "simulated quantities and silently breaks replayability.  "
-        "Benchmarks outside src/ may measure wall time; the one "
-        "legitimate in-library measurement (setup_seconds in "
-        "core/session.py, reporting real encode cost) carries a "
-        "lint-ok pragma.  The repro.service package is allowlisted "
-        "wholesale: the daemon's flush deadlines and health-probe "
-        "timers are real-time serving concerns, not simulated "
-        "quantities (see docs/INVARIANTS.md)."
+        "Benchmarks outside src/ may measure wall time; the vetted "
+        "in-library measurements (setup_seconds encode cost, "
+        "verify_seconds flush cost, and the repro.obs wall-domain "
+        "spans/latency histograms) all funnel through "
+        "util/wallclock.py, whose single time.perf_counter() read "
+        "carries the tree's one lint-ok pragma.  The repro.service "
+        "package is allowlisted wholesale: the daemon's flush "
+        "deadlines and health-probe timers are real-time serving "
+        "concerns, not simulated quantities (see docs/INVARIANTS.md)."
     )
     node_types: ClassVar[tuple[type[ast.AST], ...]] = (ast.Call,)
 

@@ -39,7 +39,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import SimulationError
+from repro.obs.metrics import EventCounter, SampleSink
+
+#: Per-request queue-wait histogram bounds (simulated milliseconds).
+_WAIT_MS_BUCKETS = (0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0)
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,21 @@ class SpindleQueue:
         self.n_requests = 0
         #: Requests that had to wait (``wait_ms > 0``).
         self.n_waited = 0
+        # Obs series bound per spindle at construction (shared no-op
+        # children when the plane is disabled, so acquire() stays O(1)
+        # with two null method calls of overhead).
+        registry = obs.metrics()
+        self._obs_requests: EventCounter = registry.counter(
+            "repro_spindle_requests_total",
+            "Lookups granted by this spindle queue",
+            ("spindle",),
+        ).labels(name)
+        self._obs_wait_ms: SampleSink = registry.histogram(
+            "repro_spindle_wait_ms",
+            "Queue wait per granted lookup in simulated milliseconds",
+            ("spindle",),
+            buckets=_WAIT_MS_BUCKETS,
+        ).labels(name)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -120,6 +140,8 @@ class SpindleQueue:
         self.busy_ms += service_ms
         self.wait_ms += wait
         self.n_requests += 1
+        self._obs_requests.inc()
+        self._obs_wait_ms.observe(wait)
         if wait > 0.0:
             self.n_waited += 1
             self.peak_wait_ms = max(self.peak_wait_ms, wait)

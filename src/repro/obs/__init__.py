@@ -1,0 +1,117 @@
+"""The observability plane: metrics registry + dual-clock tracing.
+
+``repro.obs`` is the one instrumentation substrate every layer shares
+-- fleet lanes, the netsim spindles, the TPA's verify flushes, the
+service daemon, the provider registry.  It is dependency-free, bounded
+in memory, and **off by default**: the process-global registry starts
+disabled, so uninstrumented runs pay one no-op method call per event
+and allocate zero series (the overhead is CI-gated <= 5% even fully
+enabled -- see ``benchmarks/bench_fleet.py`` / ``bench_daemon.py``).
+
+Typical use::
+
+    from repro import obs
+
+    obs.set_enabled(True)          # BEFORE building instrumented objects
+    fleet = build_fleet(...)       # components bind their series now
+    fleet.run(...)
+    print(obs.metrics().to_prometheus())
+    obs.tracer().dump_jsonl("trace.jsonl")
+
+Series are bound at component construction, so enable/disable the
+plane *before* building the objects you want observed.  Tests isolate
+themselves with :func:`use_registry`, which swaps a fresh registry in
+for the duration of a ``with`` block.
+
+Clock domains are strict: library spans read injected sim clocks
+(:meth:`~repro.obs.tracing.Tracer.span`), wall time enters only via
+:func:`repro.util.wallclock.wall_seconds`
+(:meth:`~repro.obs.tracing.Tracer.wall_span`) -- SIM001 still bans any
+other wall-clock read in ``src/``, including inside ``repro.obs``
+itself (pinned by ``tests/lint/test_rules_sim.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    EventCounter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricsRegistry,
+    SampleSink,
+    iter_quantiles,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "EventCounter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricsRegistry",
+    "SampleSink",
+    "Span",
+    "Tracer",
+    "iter_quantiles",
+    "metrics",
+    "set_enabled",
+    "tracer",
+    "use_registry",
+]
+
+#: Off by default: the null registry hands out shared no-op families.
+_REGISTRY = MetricsRegistry(enabled=False)
+_TRACER = Tracer(enabled=False)
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+def set_enabled(enabled: bool) -> MetricsRegistry:
+    """Switch the plane on or off; returns the (fresh) global registry.
+
+    Enabling replaces the global registry with a fresh enabled one --
+    series are bound at component construction, so call this *before*
+    building the fleet/daemon you want observed.  The tracer keeps its
+    ring across toggles.
+    """
+    global _REGISTRY
+    _REGISTRY = MetricsRegistry(enabled=enabled)
+    _TRACER.set_enabled(enabled)
+    return _REGISTRY
+
+
+@contextmanager
+def use_registry(
+    registry: MetricsRegistry, trace: Tracer | None = None
+) -> Iterator[MetricsRegistry]:
+    """Swap the global registry (and optionally tracer) for a block.
+
+    Test isolation: each test builds its own registry, instruments its
+    own components, and restores the previous plane on exit no matter
+    what the body raised.
+    """
+    global _REGISTRY, _TRACER
+    previous_registry, previous_tracer = _REGISTRY, _TRACER
+    _REGISTRY = registry
+    if trace is not None:
+        _TRACER = trace
+    try:
+        yield registry
+    finally:
+        _REGISTRY, _TRACER = previous_registry, previous_tracer

@@ -1,0 +1,159 @@
+"""Dual-clock tracing: sim-time spans in the library, wall-time at the edge.
+
+The determinism story (SIM001, the slot-vs-event anchor) forbids
+wall-clock reads inside library code, but observability wants to know
+*where time goes*.  The resolution is two clock domains:
+
+* ``domain="sim"`` -- :meth:`Tracer.span` reads an injected
+  :class:`~repro.netsim.clock.SimClock` (``now_ms()`` only, never
+  ``advance``), so sim spans are a pure function of the seed: two runs
+  of the same fleet produce byte-identical span streams (pinned by
+  ``tests/obs/test_instrumentation.py``).
+* ``domain="wall"`` -- :meth:`Tracer.wall_span` funnels through the
+  tree's one pragma'd wall-clock shim
+  (:func:`repro.util.wallclock.wall_seconds`), and is only used where
+  wall time is already vetted: the service plane and real-compute-cost
+  accounting.
+
+Finished spans land in a bounded ring (``maxlen`` newest survive), so
+tracing a week-long daemon costs the same memory as tracing a test.
+:meth:`Tracer.dump_jsonl` writes one JSON object per line for offline
+tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+from repro.errors import ConfigurationError
+from repro.util.wallclock import wall_seconds
+
+__all__ = ["Span", "Tracer"]
+
+
+class ReadsNowMs(Protocol):
+    """The one clock method sim spans read (``SimClock``/``LaneClock``)."""
+
+    def now_ms(self) -> float: ...
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One finished span: a named interval in a single clock domain."""
+
+    name: str
+    domain: str  # "sim" or "wall"
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        """Span length in its own clock domain's milliseconds."""
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> dict[str, object]:
+        """Stable JSON-ready form (one JSONL row)."""
+        return {
+            "name": self.name,
+            "domain": self.domain,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "duration_ms": self.duration_ms,
+        }
+
+
+class Tracer:
+    """A bounded in-memory span ring with two clock-domain recorders."""
+
+    __slots__ = ("_ring", "_enabled", "_n_recorded")
+
+    def __init__(self, maxlen: int = 4096, enabled: bool = True) -> None:
+        if maxlen < 1:
+            raise ConfigurationError(f"maxlen must be >= 1, got {maxlen}")
+        self._ring: deque[Span] = deque(maxlen=maxlen)
+        self._enabled = bool(enabled)
+        self._n_recorded = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are being recorded."""
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Turn recording on or off (the ring is left untouched)."""
+        self._enabled = bool(enabled)
+
+    @property
+    def n_recorded(self) -> int:
+        """Spans recorded over the tracer's lifetime (ring may hold fewer)."""
+        return self._n_recorded
+
+    def record(self, span: Span) -> None:
+        """Append one finished span (no-op when disabled)."""
+        if not self._enabled:
+            return
+        self._ring.append(span)
+        self._n_recorded += 1
+
+    @contextmanager
+    def span(self, name: str, *, clock: ReadsNowMs) -> Iterator[None]:
+        """Record a sim-domain span around the body.
+
+        Reads ``clock.now_ms()`` on entry and exit -- it never advances
+        the clock, so instrumented code behaves identically with
+        tracing on or off.
+        """
+        if not self._enabled:
+            yield
+            return
+        start_ms = clock.now_ms()
+        try:
+            yield
+        finally:
+            self.record(Span(name, "sim", start_ms, clock.now_ms()))
+
+    @contextmanager
+    def wall_span(self, name: str) -> Iterator[None]:
+        """Record a wall-domain span around the body.
+
+        Wall time enters through :func:`repro.util.wallclock.wall_seconds`
+        (the tree's single SIM001 pragma); only service-plane and
+        real-compute-cost call sites should use this.
+        """
+        if not self._enabled:
+            yield
+            return
+        start_s = wall_seconds()
+        try:
+            yield
+        finally:
+            end_s = wall_seconds()
+            self.record(
+                Span(name, "wall", start_s * 1000.0, end_s * 1000.0)
+            )
+
+    def spans(self, domain: str | None = None) -> tuple[Span, ...]:
+        """The ring's spans, oldest first, optionally one domain only."""
+        if domain is None:
+            return tuple(self._ring)
+        if domain not in ("sim", "wall"):
+            raise ConfigurationError(
+                f"domain must be 'sim' or 'wall', got {domain!r}"
+            )
+        return tuple(span for span in self._ring if span.domain == domain)
+
+    def clear(self) -> None:
+        """Drop every buffered span (lifetime counter is kept)."""
+        self._ring.clear()
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write the ring as JSON Lines; returns the number of rows."""
+        rows = [json.dumps(span.to_dict(), sort_keys=True) for span in self._ring]
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(row + "\n")
+        return len(rows)

@@ -26,6 +26,7 @@ concerns); see the SIM001 allowlist note in ``docs/INVARIANTS.md``.
 from repro.service.client import (
     AuditClient,
     AuditServiceError,
+    fetch_daemon_stats,
     run_audit_client,
 )
 from repro.service.dispatch import AuditDispatcher, DispatchStats
@@ -40,9 +41,13 @@ from repro.service.server import AuditDaemon
 from repro.service.wire import (
     OP_AUDIT,
     OP_ERROR,
+    OP_STATS,
+    OP_STATS_REPLY,
     OP_VERDICT,
     AuditOrder,
     ErrorReply,
+    StatsReply,
+    StatsRequest,
     VerdictReply,
     decode_reply,
     decode_request,
@@ -62,12 +67,17 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "OP_AUDIT",
     "OP_ERROR",
+    "OP_STATS",
+    "OP_STATS_REPLY",
     "OP_VERDICT",
     "ProviderRegistry",
+    "StatsReply",
+    "StatsRequest",
     "UNHEALTHY",
     "VerdictReply",
     "decode_reply",
     "decode_request",
     "encode_frame",
+    "fetch_daemon_stats",
     "run_audit_client",
 ]

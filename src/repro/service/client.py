@@ -24,7 +24,13 @@ from typing import Sequence
 from repro.core.verification import GeoProofVerdict
 from repro.errors import ConfigurationError, ProtocolError
 from repro.service.framing import FrameParser, encode_frame
-from repro.service.wire import AuditOrder, ErrorReply, decode_reply
+from repro.service.wire import (
+    AuditOrder,
+    ErrorReply,
+    StatsReply,
+    StatsRequest,
+    decode_reply,
+)
 
 #: One socket read's worth of bytes.
 _READ_BYTES = 1 << 16
@@ -87,6 +93,8 @@ class AuditClient:
             return
         if isinstance(reply, ErrorReply):
             future.set_exception(AuditServiceError(reply.message))
+        elif isinstance(reply, StatsReply):
+            future.set_result(reply.payload)
         else:
             future.set_result(reply.verdict)
 
@@ -139,6 +147,22 @@ class AuditClient:
         """
         return list(await asyncio.gather(*await self.submit_many(orders)))
 
+    async def stats(self) -> dict:
+        """Ask the daemon for its live stats payload.
+
+        Pipelines like any order: the probe shares the correlation-id
+        space, so it can ride the same connection as in-flight audits.
+        """
+        if self._writer is None:
+            raise ConfigurationError("client not connected")
+        order_id = self._next_order_id
+        self._next_order_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[order_id] = future
+        self._writer.write(encode_frame(StatsRequest(order_id).to_wire()))
+        await self._writer.drain()
+        return await future
+
     async def close(self) -> None:
         if self._writer is None:
             return
@@ -166,11 +190,32 @@ def run_audit_client(
     host: str,
     port: int,
     orders: Sequence[tuple[bytes, int]],
-) -> list[GeoProofVerdict]:
-    """Synchronous one-shot: connect, pipeline ``orders``, disconnect."""
+    *,
+    stats: bool = False,
+):
+    """Synchronous one-shot: connect, pipeline ``orders``, disconnect.
 
-    async def _run() -> list[GeoProofVerdict]:
+    Returns the verdict list; with ``stats=True`` returns
+    ``(verdicts, stats_payload)`` where the payload is fetched on the
+    same connection *after* every verdict arrived (so its ``n_orders``
+    already counts this batch -- what the CI soak asserts).
+    """
+
+    async def _run():
         async with AuditClient(host, port) as client:
-            return await client.audit_many(orders)
+            verdicts = await client.audit_many(orders)
+            if not stats:
+                return verdicts
+            return verdicts, await client.stats()
+
+    return asyncio.run(_run())
+
+
+def fetch_daemon_stats(host: str, port: int) -> dict:
+    """Synchronous one-shot ``OP_STATS`` probe (the ``repro stats`` CLI)."""
+
+    async def _run() -> dict:
+        async with AuditClient(host, port) as client:
+            return await client.stats()
 
     return asyncio.run(_run())

@@ -31,14 +31,36 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
+from repro import obs
 from repro.cloud.tpa import ThirdPartyAuditor
 from repro.cloud.verifier import VerifierDevice
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.metrics import HistogramValue
 from repro.service.framing import encode_frame
 from repro.service.wire import AuditOrder, ErrorReply, VerdictReply
+from repro.util.wallclock import wall_seconds
 
 #: Queue sentinel: stop after draining what is already buffered.
 SHUTDOWN = object()
+
+#: Orders-per-flush histogram bounds (flush_batch rarely exceeds 256).
+FLUSH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Frame-to-verdict wall-latency bounds in milliseconds.
+LATENCY_MS_BUCKETS = (
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    1000.0,
+)
 
 
 class ReplySink(Protocol):
@@ -49,20 +71,50 @@ class ReplySink(Protocol):
 
 @dataclass(frozen=True, slots=True)
 class Submitted:
-    """One order plus the connection awaiting its reply."""
+    """One order plus the connection awaiting its reply.
+
+    ``received_s`` is the wall-clock instant the order's TCP chunk was
+    read (0.0 when the submitter does not track latency, e.g. direct
+    ``process_batch`` callers); the dispatcher turns it into the
+    frame-to-verdict latency histogram at delivery time.
+    """
 
     order: AuditOrder
     sink: ReplySink
+    received_s: float = 0.0
 
 
 @dataclass
 class DispatchStats:
-    """Counters the benchmark and soak jobs read."""
+    """Counters the benchmark, soak job and ``OP_STATS`` probes read.
+
+    ``flush_sizes`` and ``latency_ms`` are bounded
+    :class:`~repro.obs.metrics.HistogramValue`\\ s -- a daemon that
+    serves millions of orders holds a fixed few hundred bytes of
+    stats, not an ever-growing list.
+    """
 
     n_orders: int = 0
     n_errors: int = 0
     n_flushes: int = 0
-    flush_sizes: list[int] = field(default_factory=list)
+    flush_sizes: HistogramValue = field(
+        default_factory=lambda: HistogramValue(FLUSH_SIZE_BUCKETS)
+    )
+    latency_ms: HistogramValue = field(
+        default_factory=lambda: HistogramValue(LATENCY_MS_BUCKETS)
+    )
+
+    def to_dict(self) -> dict:
+        """Stable JSON-ready form (the ``OP_STATS`` payload core)."""
+        return {
+            "n_orders": self.n_orders,
+            "n_errors": self.n_errors,
+            "n_flushes": self.n_flushes,
+            "flush_sizes": self.flush_sizes.to_dict(),
+            "latency_ms": self.latency_ms.to_dict(),
+            "latency_p50_ms": self.latency_ms.quantile(0.5),
+            "latency_p99_ms": self.latency_ms.quantile(0.99),
+        }
 
 
 class AuditDispatcher:
@@ -89,6 +141,31 @@ class AuditDispatcher:
         self.flush_batch = flush_batch
         self.flush_ms = flush_ms
         self.stats = DispatchStats()
+        # Registry mirrors (no-op families when the obs plane is off);
+        # bound once here so the hot loop pays dict lookups never.
+        registry = obs.metrics()
+        self._obs_orders = registry.counter(
+            "repro_dispatch_orders_total",
+            "Audit orders processed by the dispatcher",
+        )
+        self._obs_errors = registry.counter(
+            "repro_dispatch_errors_total",
+            "Orders answered with an ErrorReply",
+        )
+        self._obs_flushes = registry.counter(
+            "repro_dispatch_flushes_total",
+            "Dispatcher batch flushes through the TPA",
+        )
+        self._obs_flush_size = registry.histogram(
+            "repro_dispatch_flush_size",
+            "Orders per dispatcher flush",
+            buckets=FLUSH_SIZE_BUCKETS,
+        )
+        self._obs_latency_ms = registry.histogram(
+            "repro_dispatch_latency_ms",
+            "Frame-to-verdict wall latency per order",
+            buckets=LATENCY_MS_BUCKETS,
+        )
 
     # -- synchronous core ----------------------------------------------
 
@@ -156,12 +233,16 @@ class AuditDispatcher:
             )
         for (position, order), outcome in zip(deferred, outcomes):
             replies[position] = VerdictReply(order.order_id, outcome.verdict)
+        n_errors = sum(isinstance(reply, ErrorReply) for reply in replies)
         self.stats.n_orders += len(orders)
         self.stats.n_flushes += 1
-        self.stats.flush_sizes.append(len(orders))
-        self.stats.n_errors += sum(
-            isinstance(reply, ErrorReply) for reply in replies
-        )
+        self.stats.flush_sizes.observe(len(orders))
+        self.stats.n_errors += n_errors
+        self._obs_orders.inc(len(orders))
+        self._obs_flushes.inc()
+        self._obs_flush_size.observe(len(orders))
+        if n_errors:
+            self._obs_errors.inc(n_errors)
         return [reply for reply in replies if reply is not None]
 
     # -- asyncio loop ---------------------------------------------------
@@ -210,13 +291,24 @@ class AuditDispatcher:
             replies = self.process_batch([entry.order for entry in batch])
             self._deliver(batch, replies)
 
-    @staticmethod
     def _deliver(
-        batch: list[Submitted], replies: list[VerdictReply | ErrorReply]
+        self,
+        batch: list[Submitted],
+        replies: list[VerdictReply | ErrorReply],
     ) -> None:
-        """Group one flush's replies into one write per connection."""
+        """Group one flush's replies into one write per connection.
+
+        This is where an order's life ends, so it is also where the
+        frame-to-verdict latency is observed (one ``wall_seconds``
+        read per flush, not per order).
+        """
+        now_s = wall_seconds()
         by_sink: dict[int, tuple[ReplySink, list[bytes]]] = {}
         for entry, reply in zip(batch, replies):
+            if entry.received_s > 0.0:
+                elapsed_ms = (now_s - entry.received_s) * 1000.0
+                self.stats.latency_ms.observe(elapsed_ms)
+                self._obs_latency_ms.observe(elapsed_ms)
             key = id(entry.sink)
             if key not in by_sink:
                 by_sink[key] = (entry.sink, [])

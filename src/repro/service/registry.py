@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.errors import (
     BlockNotFoundError,
     ConfigurationError,
@@ -63,6 +64,7 @@ class _Health:
     """Mutable per-backend circuit state."""
 
     __slots__ = (
+        "name",
         "state",
         "consecutive_failures",
         "n_successes",
@@ -71,7 +73,8 @@ class _Health:
         "opened_at_ms",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "") -> None:
+        self.name = name
         self.state = HEALTHY
         self.consecutive_failures = 0
         self.n_successes = 0
@@ -109,6 +112,13 @@ class ProviderRegistry:
         self._fallbacks: dict[str, tuple[str, ...]] = {}
         self._health: dict[str, _Health] = {}
         self._primary: str | None = None
+        # Circuit-transition counter (no-op family when obs is off).
+        self._obs_transitions = obs.metrics().counter(
+            "repro_provider_circuit_transitions_total",
+            "Circuit-breaker transitions per backend "
+            "(open, reopen after a failed probe, close)",
+            ("backend", "transition"),
+        )
 
     # -- registration ---------------------------------------------------
 
@@ -134,7 +144,7 @@ class ProviderRegistry:
             )
         self._backends[name] = backend
         self._fallbacks[name] = tuple(fallbacks)
-        self._health[name] = _Health()
+        self._health[name] = _Health(name)
         if self._primary is None:
             self._primary = name
 
@@ -207,12 +217,16 @@ class ProviderRegistry:
             or health.consecutive_failures >= self.unhealthy_after
         ):
             # Open (or re-open after a failed probe) a fresh window.
+            transition = "reopen" if health.state == UNHEALTHY else "open"
             health.state = UNHEALTHY
             health.opened_at_ms = now_ms
+            self._obs_transitions.labels(health.name, transition).inc()
 
     def _record_success(self, health: _Health) -> None:
         health.n_successes += 1
         health.consecutive_failures = 0
+        if health.state == UNHEALTHY:
+            self._obs_transitions.labels(health.name, "close").inc()
         health.state = HEALTHY
 
     # -- serving --------------------------------------------------------

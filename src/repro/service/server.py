@@ -23,12 +23,19 @@ from __future__ import annotations
 
 import asyncio
 
+from repro import obs
 from repro.cloud.tpa import ThirdPartyAuditor
 from repro.cloud.verifier import VerifierDevice
 from repro.errors import ConfigurationError, ProtocolError
 from repro.service.dispatch import SHUTDOWN, AuditDispatcher, Submitted
 from repro.service.framing import FrameParser, encode_frame
-from repro.service.wire import ErrorReply, decode_request
+from repro.service.wire import (
+    ErrorReply,
+    StatsReply,
+    StatsRequest,
+    decode_request,
+)
+from repro.util.wallclock import wall_seconds
 
 #: Reply-queue sentinel: flush what is queued, then close the socket.
 _CLOSE = object()
@@ -64,18 +71,34 @@ class _Connection:
             self._replies.put_nowait(_CLOSE)
 
     async def read_loop(self) -> None:
-        """Parse frames off the socket until EOF or a protocol error."""
+        """Parse frames off the socket until EOF or a protocol error.
+
+        Stats probes (:class:`~repro.service.wire.StatsRequest`) are
+        answered inline from here -- they never enter the dispatch
+        queue, so ``repro stats`` gets an answer even when the audit
+        plane is saturated and the queue is applying backpressure.
+        """
         parser = FrameParser()
         try:
             while True:
                 chunk = await self._reader.read(_READ_BYTES)
                 if not chunk:
                     break
+                received_s = wall_seconds()
                 try:
-                    submitted = [
-                        Submitted(decode_request(body), self)
-                        for body in parser.feed(chunk)
-                    ]
+                    submitted = []
+                    for body in parser.feed(chunk):
+                        request = decode_request(body)
+                        if isinstance(request, StatsRequest):
+                            reply = StatsReply(
+                                request.order_id,
+                                self._daemon.stats_payload(),
+                            )
+                            self.send_bytes(encode_frame(reply.to_wire()))
+                        else:
+                            submitted.append(
+                                Submitted(request, self, received_s)
+                            )
                 except ProtocolError as exc:
                     # Fail closed: report once, then drop the
                     # connection -- resynchronising a corrupt stream
@@ -157,11 +180,37 @@ class AuditDaemon:
         self._dispatch_task: asyncio.Task | None = None
         self._connections: dict[int, _Connection] = {}
         self._tasks: set[asyncio.Task] = set()
+        # Sampled gauges (no-op families when the obs plane is off).
+        registry = obs.metrics()
+        self._obs_queue_depth = registry.gauge(
+            "repro_daemon_queue_depth",
+            "Submission-queue depth sampled at each stats probe",
+        )
+        self._obs_connections = registry.gauge(
+            "repro_daemon_connections",
+            "Open tenant connections sampled at each stats probe",
+        )
 
     @property
     def stats(self):
         """The dispatcher's counters (orders, flushes, batch sizes)."""
         return self.dispatcher.stats
+
+    def stats_payload(self) -> dict:
+        """The live ``OP_STATS`` answer: dispatch counters + daemon state.
+
+        Queue depth counts submission-queue entries (lists of decoded
+        orders, one per TCP chunk) still waiting for the dispatcher.
+        """
+        payload = self.dispatcher.stats.to_dict()
+        queue_depth = (
+            self._submissions.qsize() if self._submissions is not None else 0
+        )
+        payload["queue_depth"] = queue_depth
+        payload["n_connections"] = len(self._connections)
+        self._obs_queue_depth.set(queue_depth)
+        self._obs_connections.set(len(self._connections))
+        return payload
 
     async def start(self) -> None:
         """Bind the socket and start the dispatch loop.

@@ -1,15 +1,23 @@
 """The audit service's request/reply envelope.
 
 Frame bodies are one opcode byte followed by a ``core.messages``-style
-canonical encoding.  Three messages cross the wire:
+canonical encoding.  Five messages cross the wire:
 
 * :class:`AuditOrder` (client -> daemon, :data:`OP_AUDIT`): "audit
   file F with k rounds" plus a client-chosen correlation id.  ``k=0``
   means the file's SLA default.  The daemon draws the nonce and runs
   the protocol -- tenants never influence challenge derivation.
+* :class:`StatsRequest` (client -> daemon, :data:`OP_STATS`): ask for
+  the daemon's live observability counters.  Answered directly from
+  the reader task (it never enters the dispatch queue), so a stats
+  probe works even when the audit plane is saturated.
 * :class:`VerdictReply` (daemon -> client, :data:`OP_VERDICT`): the
   full :class:`~repro.core.verification.GeoProofVerdict` for one
   order.
+* :class:`StatsReply` (daemon -> client, :data:`OP_STATS_REPLY`): a
+  JSON stats payload (orders served, queue depth, flush-size
+  histogram, latency quantiles -- see
+  :meth:`~repro.service.server.AuditDaemon.stats_payload`).
 * :class:`ErrorReply` (daemon -> client, :data:`OP_ERROR`): the order
   was not serviceable (unknown file, invalid k, backend exhausted).
 
@@ -20,6 +28,7 @@ opcodes, truncated bodies and trailing bytes all raise
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.core.messages import decode_exact
@@ -33,8 +42,10 @@ from repro.util.serialization import (
 )
 
 OP_AUDIT = 0x01
+OP_STATS = 0x02
 OP_VERDICT = 0x81
 OP_ERROR = 0x82
+OP_STATS_REPLY = 0x83
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +77,57 @@ class AuditOrder:
         file_id, offset = decode_length_prefixed(data, offset)
         k, offset = decode_uint(data, offset)
         return cls(order_id=order_id, file_id=file_id, k=k), offset
+
+
+@dataclass(frozen=True, slots=True)
+class StatsRequest:
+    """Ask the daemon for its live stats (correlation id like an order)."""
+
+    order_id: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.order_id < 1 << 64:
+            raise ProtocolError(f"order id out of range: {self.order_id}")
+
+    def to_wire(self) -> bytes:
+        return bytes([OP_STATS]) + encode_uint(self.order_id)
+
+    @classmethod
+    def from_body(
+        cls, data: bytes, offset: int = 0
+    ) -> tuple["StatsRequest", int]:
+        order_id, offset = decode_uint(data, offset)
+        return cls(order_id=order_id), offset
+
+
+@dataclass(frozen=True, slots=True)
+class StatsReply:
+    """The daemon's live counters as a JSON object payload."""
+
+    order_id: int
+    payload: dict
+
+    def to_wire(self) -> bytes:
+        raw = json.dumps(self.payload, sort_keys=True).encode("utf-8")
+        return (
+            bytes([OP_STATS_REPLY])
+            + encode_uint(self.order_id)
+            + encode_length_prefixed(raw)
+        )
+
+    @classmethod
+    def from_body(
+        cls, data: bytes, offset: int = 0
+    ) -> tuple["StatsReply", int]:
+        order_id, offset = decode_uint(data, offset)
+        raw, offset = decode_length_prefixed(data, offset)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError("stats reply is not valid JSON") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("stats reply payload must be an object")
+        return cls(order_id=order_id, payload=payload), offset
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,17 +180,19 @@ class ErrorReply:
         return cls(order_id=order_id, message=message), offset
 
 
-def decode_request(body: bytes) -> AuditOrder:
+def decode_request(body: bytes) -> AuditOrder | StatsRequest:
     """Decode one client->daemon frame body, failing closed."""
     if not body:
         raise ProtocolError("empty frame body")
     opcode = body[0]
-    if opcode != OP_AUDIT:
-        raise ProtocolError(f"unknown request opcode {opcode:#x}")
-    return decode_exact(AuditOrder.from_body, body[1:])
+    if opcode == OP_AUDIT:
+        return decode_exact(AuditOrder.from_body, body[1:])
+    if opcode == OP_STATS:
+        return decode_exact(StatsRequest.from_body, body[1:])
+    raise ProtocolError(f"unknown request opcode {opcode:#x}")
 
 
-def decode_reply(body: bytes) -> VerdictReply | ErrorReply:
+def decode_reply(body: bytes) -> VerdictReply | ErrorReply | StatsReply:
     """Decode one daemon->client frame body, failing closed."""
     if not body:
         raise ProtocolError("empty frame body")
@@ -137,4 +201,6 @@ def decode_reply(body: bytes) -> VerdictReply | ErrorReply:
         return decode_exact(VerdictReply.from_body, body[1:])
     if opcode == OP_ERROR:
         return decode_exact(ErrorReply.from_body, body[1:])
+    if opcode == OP_STATS_REPLY:
+        return decode_exact(StatsReply.from_body, body[1:])
     raise ProtocolError(f"unknown reply opcode {opcode:#x}")

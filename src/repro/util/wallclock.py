@@ -2,15 +2,19 @@
 
 SIM001 bans wall-clock reads in library code: simulated quantities must
 come from injected clocks so runs replay bit-for-bit from a seed (see
-docs/INVARIANTS.md).  Two measurements are deliberately *real*, though:
+docs/INVARIANTS.md).  Three measurements are deliberately *real*, though:
 
 * ``setup_seconds`` -- the encode cost of the outsourcing hot path
   (``core/session.py``, tracked by bench_prp/bench_rs);
 * ``verify_seconds`` -- the TPA-side verdict cost of a fleet's batch
   verification flushes (``fleet/fleet.py``, tracked by bench_verify /
-  bench_fleet).
+  bench_fleet);
+* the observability plane's wall domain -- ``repro.obs`` wall spans
+  and the service plane's frame-to-verdict latency histograms
+  (``obs/tracing.py``, ``service/dispatch.py``), which time real
+  compute and real queueing, never simulated quantities.
 
-Both report how long *this process* spent computing, never feed a
+All report how long *this process* spent computing, never feed a
 simulated quantity, and funnel through this helper so the tree carries
 exactly one SIM001 pragma.
 """

@@ -62,6 +62,32 @@ class TestSIM001WallClock:
         )
         assert rule_ids_of(report) == ["SIM001"]
 
+    def test_obs_package_not_allowlisted(self, lint_tree):
+        # The observability plane is NOT exempt: its wall domain must
+        # funnel through util/wallclock.wall_seconds(), the tree's one
+        # pragma'd read.  A raw time.time() in repro.obs still fails.
+        report = lint_tree(
+            {
+                "src/repro/obs/metrics.py": (
+                    "import time\nstamp = time.time()\n"
+                )
+            }
+        )
+        assert rule_ids_of(report) == ["SIM001"]
+
+    def test_obs_wall_clock_via_shim_allowed(self, lint_tree):
+        # ...while the sanctioned spelling (importing the shim) is
+        # clean: SIM001 matches direct time.*/datetime.* calls only.
+        report = lint_tree(
+            {
+                "src/repro/obs/tracing.py": (
+                    "from repro.util.wallclock import wall_seconds\n"
+                    "start_s = wall_seconds()\n"
+                )
+            }
+        )
+        assert report.findings == []
+
 
 class TestSIM002Randomness:
     def test_import_random_in_src_flagged(self, lint_tree):

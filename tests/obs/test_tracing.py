@@ -1,0 +1,116 @@
+"""Dual-clock tracing: sim spans from injected clocks, bounded ring."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.clock import SimClock
+from repro.obs import Span, Tracer
+
+
+class TestSimSpans:
+    def test_span_reads_the_injected_clock(self):
+        clock = SimClock()
+        tracer = Tracer()
+        with tracer.span("work", clock=clock):
+            clock.advance(12.5)
+        (span,) = tracer.spans()
+        assert span == Span("work", "sim", 0.0, 12.5)
+        assert span.duration_ms == 12.5
+
+    def test_span_never_advances_the_clock(self):
+        clock = SimClock()
+        with Tracer().span("idle", clock=clock):
+            pass
+        assert clock.now_ms() == 0.0
+
+    def test_span_recorded_even_when_body_raises(self):
+        clock = SimClock()
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom", clock=clock):
+                clock.advance(1.0)
+                raise ValueError("boom")
+        assert tracer.spans()[0].duration_ms == 1.0
+
+
+class TestWallSpans:
+    def test_wall_span_uses_the_wall_domain(self):
+        tracer = Tracer()
+        with tracer.wall_span("flush"):
+            pass
+        (span,) = tracer.spans()
+        assert span.domain == "wall"
+        assert span.end_ms >= span.start_ms
+
+    def test_domain_filter(self):
+        tracer = Tracer()
+        with tracer.wall_span("w"):
+            pass
+        with tracer.span("s", clock=SimClock()):
+            pass
+        assert [s.name for s in tracer.spans("wall")] == ["w"]
+        assert [s.name for s in tracer.spans("sim")] == ["s"]
+        with pytest.raises(ConfigurationError):
+            tracer.spans("cpu")
+
+
+class TestRing:
+    def test_ring_keeps_only_the_newest_maxlen(self):
+        tracer = Tracer(maxlen=4)
+        for i in range(10):
+            tracer.record(Span(f"s{i}", "sim", 0.0, float(i)))
+        assert tracer.n_recorded == 10
+        assert [s.name for s in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+
+    def test_clear_keeps_the_lifetime_counter(self):
+        tracer = Tracer()
+        tracer.record(Span("s", "sim", 0.0, 1.0))
+        tracer.clear()
+        assert tracer.spans() == ()
+        assert tracer.n_recorded == 1
+
+    def test_maxlen_validated(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(maxlen=0)
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        clock = SimClock()
+        tracer = Tracer(enabled=False)
+        tracer.record(Span("manual", "sim", 0.0, 1.0))
+        with tracer.span("sim-side", clock=clock):
+            clock.advance(1.0)
+        with tracer.wall_span("wall-side"):
+            pass
+        assert tracer.spans() == ()
+        assert tracer.n_recorded == 0
+
+    def test_set_enabled_toggles_recording(self):
+        tracer = Tracer(enabled=False)
+        tracer.set_enabled(True)
+        tracer.record(Span("s", "sim", 0.0, 1.0))
+        assert tracer.n_recorded == 1
+        assert tracer.enabled
+
+
+class TestDump:
+    def test_dump_jsonl_round_trips(self, tmp_path):
+        clock = SimClock()
+        tracer = Tracer()
+        with tracer.span("a", clock=clock):
+            clock.advance(3.0)
+        with tracer.wall_span("b"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump_jsonl(str(path)) == 2
+        rows = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert rows[0]["name"] == "a"
+        assert rows[0]["domain"] == "sim"
+        assert rows[0]["duration_ms"] == 3.0
+        assert rows[1]["domain"] == "wall"

@@ -90,6 +90,16 @@ class TestParserWiring:
         assert args.file_ids == ["file-0"]
         assert args.rounds == 0
         assert args.count == 1
+        assert args.stats is False
+
+    def test_stats_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats", "--port", "5"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 5
 
 
 class TestServe:
@@ -165,3 +175,66 @@ class TestAuditClient:
     def test_connection_refused_exits_two(self, capsys):
         code = main(["audit-client", "file-0", "--port", "1"])
         assert code == 2
+
+    def test_stats_flag_appends_daemon_stats(self, capsys):
+        with ServeThread() as server:
+            code = main(
+                [
+                    "audit-client",
+                    "file-0",
+                    "file-1",
+                    "--port",
+                    str(server.port),
+                    "--rounds",
+                    "3",
+                    "--stats",
+                    "--json",
+                ]
+            )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [row["accepted"] for row in payload["verdicts"]] == [
+            True,
+            True,
+        ]
+        # Stats are fetched on the same connection after the verdicts,
+        # so this very batch is already counted.
+        assert payload["stats"]["n_orders"] == 2
+        assert payload["stats"]["n_errors"] == 0
+        assert payload["stats"]["flush_sizes"]["sum"] == 2
+        assert payload["stats"]["latency_p99_ms"] >= 0.0
+
+
+class TestStatsCommand:
+    def test_stats_probe_returns_live_payload(self, capsys):
+        with ServeThread() as server:
+            assert (
+                main(
+                    [
+                        "audit-client",
+                        "file-0",
+                        "--port",
+                        str(server.port),
+                        "--rounds",
+                        "3",
+                    ]
+                )
+                == 0
+            )
+            capsys.readouterr()
+            code = main(["stats", "--port", str(server.port)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["n_orders"] == 1
+        assert payload["n_errors"] == 0
+        assert payload["queue_depth"] >= 0
+        assert set(payload) >= {
+            "flush_sizes",
+            "latency_ms",
+            "latency_p50_ms",
+            "latency_p99_ms",
+            "n_connections",
+        }
+
+    def test_connection_refused_exits_two(self, capsys):
+        assert main(["stats", "--port", "1"]) == 2

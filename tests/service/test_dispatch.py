@@ -130,7 +130,10 @@ class TestReplies:
         assert dispatcher.stats.n_orders == 3
         assert dispatcher.stats.n_errors == 1
         assert dispatcher.stats.n_flushes == 2
-        assert dispatcher.stats.flush_sizes == [2, 1]
+        # flush_sizes is a bounded histogram: observations [2, 1].
+        assert dispatcher.stats.flush_sizes.count == 2
+        assert dispatcher.stats.flush_sizes.sum == 3
+        assert dispatcher.stats.flush_sizes.max_value == 2
 
     def test_mixing_manual_deferred_audits_is_rejected(self):
         session, file_ids = build_session()

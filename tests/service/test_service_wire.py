@@ -9,6 +9,8 @@ from repro.service import (
     OP_AUDIT,
     AuditOrder,
     ErrorReply,
+    StatsReply,
+    StatsRequest,
     VerdictReply,
     decode_reply,
     decode_request,
@@ -117,3 +119,54 @@ class TestFailClosed:
         )
         with pytest.raises(ProtocolError):
             decode_request(body)
+
+
+class TestStatsOp:
+    @given(order_id=st.integers(0, 2**64 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_request_round_trip(self, order_id):
+        request = StatsRequest(order_id)
+        assert decode_request(request.to_wire()) == request
+
+    def test_reply_round_trip(self):
+        payload = {
+            "n_orders": 12,
+            "queue_depth": 0,
+            "latency_p99_ms": 1.5,
+            "flush_sizes": {"count": 3, "buckets": [[1.0, 1], ["+Inf", 3]]},
+        }
+        reply = StatsReply(7, payload)
+        assert decode_reply(reply.to_wire()) == reply
+
+    def test_request_and_reply_opcodes_do_not_cross(self):
+        with pytest.raises(ProtocolError):
+            decode_reply(StatsRequest(1).to_wire())
+        with pytest.raises(ProtocolError):
+            decode_request(StatsReply(1, {}).to_wire())
+
+    def test_reply_with_garbage_json_fails_closed(self):
+        wire = bytearray(StatsReply(1, {"a": 1}).to_wire())
+        wire[-1] = 0xFF  # corrupt the JSON payload
+        with pytest.raises(ProtocolError):
+            decode_reply(bytes(wire))
+
+    def test_reply_with_non_object_json_fails_closed(self):
+        from repro.util.serialization import (
+            encode_length_prefixed,
+            encode_uint,
+        )
+        from repro.service import OP_STATS_REPLY
+
+        body = (
+            bytes([OP_STATS_REPLY])
+            + encode_uint(1)
+            + encode_length_prefixed(b"[1, 2]")
+        )
+        with pytest.raises(ProtocolError):
+            decode_reply(body)
+
+    def test_trailing_bytes_fail(self):
+        with pytest.raises(ProtocolError):
+            decode_request(StatsRequest(1).to_wire() + b"\x00")
+        with pytest.raises(ProtocolError):
+            decode_reply(StatsReply(1, {}).to_wire() + b"\x00")

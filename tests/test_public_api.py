@@ -21,6 +21,7 @@ PUBLIC_PACKAGES = [
     "repro.geoloc",
     "repro.gf",
     "repro.netsim",
+    "repro.obs",
     "repro.por",
     "repro.storage",
     "repro.util",
